@@ -1,0 +1,28 @@
+# Convenience targets for the GSAP reproduction.
+
+.PHONY: install test test-fast bench bench-paper examples lint clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not slow"
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-paper:
+	GSAP_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/community_detection.py
+	python examples/hierarchical_communities.py
+	python examples/streaming_partition.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,11 @@
+"""Helpers shared by the benchmark files."""
+
+
+def pedantic_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under pytest-benchmark timing.
+
+    SBP runs are seconds-to-minutes long; statistical repetition happens
+    across dataset cells, not repeated identical runs.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

@@ -1,0 +1,52 @@
+"""Ablation — the all-to-all bottleneck of distributed SBP (EDiSt).
+
+The paper's related-work section motivates GSAP over distributed SBP
+partly because "the all-to-all communication pattern in EDiSt becomes a
+significant bottleneck as the number of nodes increases".  This bench
+runs the simulated EDiSt engine at increasing rank counts on the same
+graph and reports the communication volume: bytes on the wire grow
+~linearly with ranks for the same move traffic, while partition quality
+stays flat — scaling nodes buys parallelism but pays quadratic message
+count, exactly the trade the paper cites.
+"""
+
+import pytest
+
+from _bench_utils import pedantic_once
+from repro.baselines.edist import EDiStPartitioner
+from repro.bench.workloads import bench_config
+from repro.graph.datasets import load_dataset
+from repro.metrics import nmi
+
+_RESULTS = {}
+RANK_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.mark.parametrize("ranks", RANK_COUNTS)
+def test_edist_at_rank_count(benchmark, ranks):
+    graph, truth = load_dataset("low_low", 200, seed=1)
+    partitioner = EDiStPartitioner(bench_config(seed=4), num_ranks=ranks)
+    result = pedantic_once(benchmark, partitioner.partition, graph)
+    _RESULTS[ranks] = (
+        partitioner.comm.bytes_sent,
+        partitioner.comm.messages,
+        nmi(result.partition, truth),
+    )
+
+
+def test_zzz_report(benchmark, capsys):
+    assert set(_RESULTS) == set(RANK_COUNTS)
+    rows = pedantic_once(
+        benchmark, lambda: [(k, *_RESULTS[k]) for k in sorted(_RESULTS)]
+    )
+    with capsys.disabled():
+        print("\n\n### Ablation: EDiSt all-to-all volume vs rank count "
+              "(low_low, 200 vertices)\n")
+        print("| ranks | bytes on wire | messages | NMI |")
+        print("|---|---|---|---|")
+        for ranks, nbytes, messages, quality in rows:
+            print(f"| {ranks} | {nbytes:,} | {messages:,} | {quality:.3f} |")
+    # communication grows with rank count; quality does not improve
+    volumes = [v for _, v, _, _ in rows]
+    assert volumes == sorted(volumes)
+    assert volumes[-1] > volumes[1] > volumes[0] == 0

@@ -1,0 +1,41 @@
+"""Figure 10 — runtime breakdown across the three SBP phases.
+
+Shape checks (paper §4.3): vertex-move dominates every system's runtime;
+GSAP's block-merge share stays small (the paper reports ≤2% for GSAP vs
+4.2%/7.7% for the baselines).
+"""
+
+import pytest
+
+from _bench_utils import pedantic_once
+from repro.bench.figures import fig10_markdown, fig10_series
+from repro.bench.workloads import matrix_sizes
+
+PROBE_CATEGORY = "high_low"  # the paper's Fig. 10 probes high-low graphs
+
+
+def test_fig10_cells(benchmark, run_cell):
+    size = max(matrix_sizes())
+
+    def run_all():
+        for algo in ("uSAP", "I-SBP", "GSAP"):
+            run_cell(PROBE_CATEGORY, size, algo)
+
+    pedantic_once(benchmark, run_all)
+
+
+def test_zzz_render_fig10(benchmark, harness, run_cell, capsys):
+    size = max(matrix_sizes())
+    for algo in ("uSAP", "I-SBP", "GSAP"):
+        run_cell(PROBE_CATEGORY, size, algo)
+    text = pedantic_once(benchmark, fig10_markdown, harness, PROBE_CATEGORY, size)
+    with capsys.disabled():
+        print("\n\n" + text)
+    series = fig10_series(harness, PROBE_CATEGORY, size)
+    for algo, shares in series.items():
+        assert shares, f"missing breakdown for {algo}"
+        assert shares["vertex_move"] > 0.5, (
+            f"{algo}: vertex-move not dominant: {shares}"
+        )
+    # GSAP's block-merge share is small
+    assert series["GSAP"]["block_merge"] < 0.35

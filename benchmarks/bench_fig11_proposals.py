@@ -1,0 +1,44 @@
+"""Figure 11 — average runtime per proposal, block-merge and vertex-move.
+
+Shape check (paper §4.3): GSAP's per-proposal cost is far below the
+baselines' in both phases (the paper reports 19.6x over uSAP and 210.3x
+over I-SBP on one graph); the lookup-table batch generation amortises the
+per-proposal work the CPU systems redo each time.
+"""
+
+import pytest
+
+from _bench_utils import pedantic_once
+from repro.bench.figures import fig11_markdown, fig11_series
+from repro.bench.workloads import matrix_sizes
+
+PROBE_CATEGORY = "low_high"  # the paper's Fig. 11 highlights low-high
+
+
+def test_fig11_cells(benchmark, run_cell):
+    size = max(matrix_sizes())
+
+    def run_all():
+        for algo in ("uSAP", "I-SBP", "GSAP"):
+            run_cell(PROBE_CATEGORY, size, algo)
+
+    pedantic_once(benchmark, run_all)
+
+
+def test_zzz_render_fig11(benchmark, harness, run_cell, capsys):
+    size = max(matrix_sizes())
+    for algo in ("uSAP", "I-SBP", "GSAP"):
+        run_cell(PROBE_CATEGORY, size, algo)
+    text = pedantic_once(benchmark, fig11_markdown, harness, PROBE_CATEGORY, size)
+    with capsys.disabled():
+        print("\n\n" + text)
+    series = fig11_series(harness, PROBE_CATEGORY, size)
+    gsap_merge, gsap_move = series["GSAP"]
+    for baseline in ("uSAP", "I-SBP"):
+        base_merge, base_move = series[baseline]
+        assert gsap_move < base_move, (
+            f"GSAP move proposals not cheaper than {baseline}"
+        )
+        assert gsap_merge < base_merge, (
+            f"GSAP merge proposals not cheaper than {baseline}"
+        )

@@ -1,0 +1,81 @@
+"""Figure 12 — blockmodel update: device rebuild vs CPU per-edge rebuild.
+
+A microbenchmark isolating Algorithm 2: rebuild the blockmodel from a
+realistic mid-run partition on the simulated device and with the
+sequential CPU loop.  Shape checks (paper §4.3): the device path wins at
+every size, and its advantage grows with the edge count (the paper
+reports up to 31.5x on Low-Low 200K).  Both sides are measured
+best-of-3 — sub-millisecond single runs are too noisy for the growth
+assertion.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from _bench_utils import pedantic_once
+from repro.bench.figures import fig12_markdown
+from repro.bench.workloads import update_bench_sizes
+from repro.blockmodel.update import rebuild_blockmodel, rebuild_blockmodel_cpu
+from repro.graph.datasets import load_dataset
+from repro.graph.generators import default_num_blocks
+from repro.gpusim.device import A4000, Device
+
+_RESULTS: list = []
+
+
+def _mid_run_partition(num_vertices: int) -> np.ndarray:
+    """A partition with the plateau-scale block count of a real run."""
+    b = default_num_blocks(num_vertices) * 2
+    rng = np.random.default_rng(0)
+    bmap = rng.integers(0, b, num_vertices).astype(np.int64)
+    bmap[:b] = np.arange(b)
+    return bmap
+
+
+def _best_of(n: int, fn) -> float:
+    best = float("inf")
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.mark.parametrize("size", update_bench_sizes())
+def test_device_update(benchmark, size):
+    graph, _ = load_dataset("low_low", size)
+    bmap = _mid_run_partition(size)
+    device = Device(A4000)
+    b = int(bmap.max()) + 1
+
+    # warm once so NumPy allocations are excluded, as a CUDA benchmark
+    # would exclude context creation
+    rebuild_blockmodel(device, graph, bmap, b)
+
+    bm = pedantic_once(
+        benchmark, rebuild_blockmodel, device, graph, bmap, b
+    )
+    gpu_s = _best_of(3, lambda: rebuild_blockmodel(device, graph, bmap, b))
+    cpu_s = _best_of(3, lambda: rebuild_blockmodel_cpu(graph, bmap, b))
+
+    cpu = rebuild_blockmodel_cpu(graph, bmap, b)
+    np.testing.assert_array_equal(bm.to_dense(), cpu.to_dense())
+    _RESULTS.append((size, graph.num_edges, gpu_s, cpu_s))
+
+
+def test_zzz_render_fig12(benchmark, capsys):
+    assert _RESULTS, "size-parametrised benches must run first"
+    rows = sorted(_RESULTS)
+    text = pedantic_once(benchmark, fig12_markdown, rows)
+    with capsys.disabled():
+        print("\n\n" + text)
+    speedups = [cpu / gpu for (_, _, gpu, cpu) in rows]
+    assert all(s > 1.0 for s in speedups), speedups
+    # advantage grows with edge count: compare the large-size half against
+    # the small-size half (tolerant to residual per-point noise)
+    half = len(speedups) // 2
+    small = sum(speedups[:half]) / half
+    large = sum(speedups[-half:]) / half
+    assert large > small * 0.9, speedups

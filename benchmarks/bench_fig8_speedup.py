@@ -1,0 +1,39 @@
+"""Figure 8 — GSAP runtime speedup over uSAP and I-SBP.
+
+Derives speedups from the Table 3 matrix cells (shared harness cache)
+and renders the per-category speedup series.  Shape check: the speedup
+over each baseline exceeds 1x on the largest matrix size everywhere,
+mirroring the paper's 4.5x/14.2x averages (absolute factors differ —
+the substrates differ, DESIGN.md §2).
+"""
+
+import pytest
+
+from _bench_utils import pedantic_once
+from repro.bench.figures import fig8_markdown, fig8_series
+from repro.bench.workloads import BENCH_CATEGORIES, matrix_sizes
+
+
+@pytest.mark.parametrize("baseline", ("uSAP", "I-SBP"))
+def test_speedup_series(benchmark, harness, run_cell, baseline):
+    # make sure the needed cells exist (cache hits if Table 3 ran first)
+    for category in BENCH_CATEGORIES:
+        for size in matrix_sizes():
+            run_cell(category, size, baseline)
+            run_cell(category, size, "GSAP")
+
+    series = pedantic_once(benchmark, fig8_series, harness, matrix_sizes())
+    values = [v for (_, _, v) in series[baseline] if v is not None]
+    assert len(values) == len(BENCH_CATEGORIES) * len(matrix_sizes())
+    assert all(v > 0 for v in values)
+
+
+def test_zzz_render_fig8(benchmark, harness, capsys):
+    text = pedantic_once(benchmark, fig8_markdown, harness, matrix_sizes())
+    with capsys.disabled():
+        print("\n\n" + text)
+    series = fig8_series(harness, matrix_sizes())
+    largest = max(matrix_sizes())
+    for baseline, rows in series.items():
+        at_largest = [v for (_, s, v) in rows if s == largest and v is not None]
+        assert at_largest and min(at_largest) > 1.0

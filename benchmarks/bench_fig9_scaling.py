@@ -1,0 +1,47 @@
+"""Figure 9 — runtime-vs-size curves on the Low-Low category.
+
+Shape checks (paper §4.2): every algorithm's runtime grows with size,
+and GSAP's *advantage* over both baselines grows with the edge count —
+the scalability claim the figure illustrates.
+"""
+
+import pytest
+
+from _bench_utils import pedantic_once
+from repro.bench.figures import fig9_markdown, fig9_series
+from repro.bench.workloads import gsap_only_sizes, matrix_sizes
+
+
+def test_fig9_cells(benchmark, run_cell):
+    def run_all():
+        for size in matrix_sizes():
+            for algo in ("uSAP", "I-SBP", "GSAP"):
+                run_cell("low_low", size, algo)
+        for size in gsap_only_sizes():
+            run_cell("low_low", size, "GSAP")
+
+    pedantic_once(benchmark, run_all)
+
+
+def test_zzz_render_fig9(benchmark, harness, capsys):
+    text = pedantic_once(benchmark, fig9_markdown, harness)
+    with capsys.disabled():
+        print("\n\n" + text)
+    series = fig9_series(harness)
+    gsap = dict(series["GSAP"])
+    # GSAP covers sizes the baselines do not (the paper's ">2h" region)
+    assert max(gsap) > max(matrix_sizes())
+    # GSAP stays ahead at every size; the *advantage* should not collapse
+    # (single-run wall times are noisy at quick scale, so allow slack
+    # rather than requiring strict monotone growth on a 2-point series)
+    sizes = sorted(matrix_sizes())
+    for baseline in ("uSAP", "I-SBP"):
+        base = dict(series[baseline])
+        ratios = [base[s] / gsap[s] for s in sizes if s in base and s in gsap]
+        assert all(r > 1.0 for r in ratios), (
+            f"{baseline}: GSAP not ahead everywhere: {ratios}"
+        )
+        if len(ratios) >= 2:
+            assert ratios[-1] >= ratios[0] * 0.33, (
+                f"{baseline}: GSAP advantage collapsed with size: {ratios}"
+            )

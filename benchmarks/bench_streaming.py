@@ -1,0 +1,88 @@
+"""Extension bench — streaming SBP: warm-started vs from-scratch stages.
+
+The Streaming Graph Challenge scores partitioners per arrival stage.
+This bench compares :class:`StreamingGSAP` (carry the partition forward,
+refine, re-search occasionally) against re-running full GSAP at every
+stage, over an edge-sample stream.  Expected: warm-starting matches the
+from-scratch quality at the final stage for a fraction of the time.
+"""
+
+import numpy as np
+import pytest
+
+from _bench_utils import pedantic_once
+from repro.bench.workloads import bench_config
+from repro.core.partitioner import GSAPPartitioner
+from repro.core.streaming import StreamingGSAP
+from repro.graph.datasets import load_dataset
+from repro.graph.streaming import cumulative_graphs, edge_sample_stream
+from repro.gpusim.device import A4000, Device
+from repro.metrics import nmi
+
+NUM_STAGES = 4
+SIZE = 500
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def stream_data():
+    return load_dataset("low_low", SIZE, seed=11)
+
+
+def test_warm_started_stream(benchmark, stream_data):
+    graph, truth = stream_data
+    config = bench_config(seed=2)
+    partitioner = StreamingGSAP(
+        config, device=Device(A4000), research_interval=2,
+    )
+
+    def run():
+        return partitioner.partition_stream(
+            edge_sample_stream(graph, NUM_STAGES, seed=3), graph.num_vertices
+        )
+
+    results = pedantic_once(benchmark, run)
+    _RESULTS["warm"] = (
+        sum(r.stage_time_s for r in results),
+        nmi(results[-1].partition, truth),
+    )
+
+
+def test_from_scratch_stream(benchmark, stream_data):
+    graph, truth = stream_data
+    config = bench_config(seed=2)
+
+    def run():
+        finals = []
+        for stage_graph in cumulative_graphs(
+            edge_sample_stream(graph, NUM_STAGES, seed=3), graph.num_vertices
+        ):
+            result = GSAPPartitioner(config, device=Device(A4000)).partition(
+                stage_graph
+            )
+            finals.append(result)
+        return finals
+
+    finals = pedantic_once(benchmark, run)
+    _RESULTS["scratch"] = (
+        sum(r.total_time_s for r in finals),
+        nmi(finals[-1].partition, truth),
+    )
+
+
+def test_zzz_report(benchmark, capsys):
+    assert set(_RESULTS) == {"warm", "scratch"}
+    warm_t, warm_q = _RESULTS["warm"]
+    scratch_t, scratch_q = _RESULTS["scratch"]
+    speedup = pedantic_once(benchmark, lambda: scratch_t / warm_t)
+    with capsys.disabled():
+        print(f"\n\n### Extension: streaming SBP over {NUM_STAGES} stages "
+              f"(low_low, {SIZE} vertices)\n")
+        print("| strategy | total time | final NMI |")
+        print("|---|---|---|")
+        print(f"| warm-started (StreamingGSAP) | {warm_t:.2f}s | {warm_q:.3f} |")
+        print(f"| from scratch each stage | {scratch_t:.2f}s | {scratch_q:.3f} |")
+        print(f"\nwarm-starting is {speedup:.1f}x faster")
+    assert speedup > 1.0
+    assert warm_q > scratch_q - 0.15  # quality preserved within tolerance

@@ -1,0 +1,39 @@
+"""Table 1 — SBPC dataset synthesis.
+
+Regenerates the dataset attribute table (|V|, |E|, planted B per
+category) and times the DC-SBM generator itself.  The assertion checks
+the generator hits Table 1's |E| and B targets within tolerance.
+"""
+
+import pytest
+
+from _bench_utils import pedantic_once
+from repro.bench.tables import table1_markdown
+from repro.bench.workloads import matrix_sizes
+from repro.graph.datasets import CATEGORIES, DatasetSpec
+from repro.graph.generators import generate_category_graph
+
+
+@pytest.mark.parametrize("category", CATEGORIES)
+@pytest.mark.parametrize("size", [1_000])
+def test_generate_dataset(benchmark, category, size):
+    spec = DatasetSpec(category, size)
+
+    def build():
+        return generate_category_graph(
+            size, spec.overlap, spec.size_variation, seed=0
+        )
+
+    graph, truth = pedantic_once(benchmark, build)
+    assert graph.num_vertices == size
+    assert int(truth.max()) + 1 == spec.num_blocks
+    target = spec.expected_num_edges
+    assert 0.8 * target <= graph.total_edge_weight <= 1.2 * target
+
+
+def test_render_table1(benchmark, capsys):
+    text = pedantic_once(benchmark, table1_markdown, tuple(matrix_sizes()))
+    with capsys.disabled():
+        print("\n\n## Table 1 (synthesized dataset registry)\n")
+        print(text)
+    assert "Low-Low" in text

@@ -1,0 +1,58 @@
+"""Table 3 — runtime comparison: uSAP vs I-SBP vs GSAP.
+
+Runs the full (category × size × algorithm) matrix at the active scale
+(``GSAP_BENCH_SCALE=quick|paper``) and renders the runtime table.  The
+expected *shape* (paper §4.2): GSAP beats both CPU baselines at every
+matrix size here, with the gap growing with |E|; the small-graph
+regression the paper reports at 1K vertices appears on the simulated
+A4000 clock, which the table's ``sim`` variant records.
+"""
+
+import pytest
+
+from _bench_utils import pedantic_once
+from repro.bench.tables import table3_markdown
+from repro.bench.workloads import (
+    BENCH_CATEGORIES,
+    gsap_only_sizes,
+    matrix_sizes,
+)
+
+ALGOS = ("uSAP", "I-SBP", "GSAP")
+
+
+@pytest.mark.parametrize("category", BENCH_CATEGORIES)
+@pytest.mark.parametrize("size", matrix_sizes())
+@pytest.mark.parametrize("algo", ALGOS)
+def test_runtime_matrix(benchmark, run_cell, category, size, algo):
+    cell = pedantic_once(benchmark, run_cell, category, size, algo)
+    assert cell.result.num_blocks >= 1
+    assert cell.runtime_s > 0
+
+
+@pytest.mark.parametrize("category", BENCH_CATEGORIES)
+@pytest.mark.parametrize("size", gsap_only_sizes())
+def test_runtime_gsap_large(benchmark, run_cell, category, size):
+    """The sizes where the paper's baselines fail / exceed 2h (scaled)."""
+    cell = pedantic_once(benchmark, run_cell, category, size, "GSAP")
+    assert cell.result.num_blocks >= 1
+
+
+def test_zzz_render_table3(benchmark, harness, capsys):
+    """Render the table from every cell the matrix produced (runs last)."""
+    sizes = tuple(matrix_sizes()) + tuple(gsap_only_sizes())
+    wall = pedantic_once(benchmark, table3_markdown, harness.cells(), sizes)
+    sim = table3_markdown(harness.cells(), sizes, clock="sim")
+    with capsys.disabled():
+        print("\n\n## Table 3 — runtime (wall clock)\n")
+        print(wall)
+        print("\n## Table 3 — runtime (GSAP on the simulated A4000 clock)\n")
+        print(sim)
+    # shape check: GSAP faster than both baselines on the largest matrix size
+    largest = max(matrix_sizes())
+    for category in BENCH_CATEGORIES:
+        for baseline in ("uSAP", "I-SBP"):
+            speedup = harness.speedup_over(baseline, category, largest)
+            assert speedup is not None and speedup > 1.0, (
+                f"GSAP not faster than {baseline} on {category}/{largest}"
+            )

@@ -1,0 +1,45 @@
+"""Table 4 — partition quality (NMI vs planted truth).
+
+Reuses the Table 3 runs (same harness cache) and scores them.  Shape
+checks (paper §4.4): every algorithm scores well on Low-Low (easiest),
+and GSAP's NMI is comparable to the baselines (it preserves the exact
+SBP statistics, so quality should not degrade from the GPU formulation).
+"""
+
+import pytest
+
+from _bench_utils import pedantic_once
+from repro.bench.tables import table4_markdown
+from repro.bench.workloads import (
+    BENCH_CATEGORIES,
+    gsap_only_sizes,
+    matrix_sizes,
+)
+from repro.metrics import nmi
+
+
+@pytest.mark.parametrize("category", BENCH_CATEGORIES)
+@pytest.mark.parametrize("algo", ("uSAP", "I-SBP", "GSAP"))
+def test_nmi_matrix(benchmark, run_cell, category, algo):
+    size = max(matrix_sizes())
+    cell = run_cell(category, size, algo)
+    from repro.graph.datasets import load_dataset
+
+    graph, truth = load_dataset(category, size)
+    score = pedantic_once(benchmark, nmi, cell.result.partition, truth)
+    assert 0.0 <= score <= 1.0
+
+
+def test_zzz_render_table4(benchmark, harness, capsys):
+    sizes = tuple(matrix_sizes()) + tuple(gsap_only_sizes())
+    text = pedantic_once(benchmark, table4_markdown, harness.cells(), sizes)
+    with capsys.disabled():
+        print("\n\n## Table 4 — NMI vs planted truth\n")
+        print(text)
+    # shape: GSAP on low_low (easiest) scores high at every size it ran
+    from repro.bench.workloads import WorkloadSpec
+
+    for size in matrix_sizes():
+        cell = harness._cells.get(WorkloadSpec("low_low", size, "GSAP").key)
+        if cell is not None:
+            assert cell.nmi > 0.7, f"GSAP low_low/{size} NMI={cell.nmi:.2f}"

@@ -1,0 +1,31 @@
+"""Shared benchmark fixtures.
+
+One :class:`BenchHarness` is shared across the whole benchmark session so
+that Table 3, Table 4 and Figures 8-11 derive from a single sweep of
+partitioner runs, exactly as in the paper's evaluation.  Each benchmark
+test *times* its own piece of work (pedantic, one round — SBP runs are
+minutes-long; statistical repetition happens across dataset cells, not
+repeated runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import BenchHarness
+from repro.bench.workloads import WorkloadSpec, bench_config
+
+
+@pytest.fixture(scope="session")
+def harness() -> BenchHarness:
+    return BenchHarness(bench_config(seed=0))
+
+
+@pytest.fixture(scope="session")
+def run_cell(harness):
+    """Callable running (and caching) one benchmark cell."""
+
+    def _run(category: str, size: int, algorithm: str):
+        return harness.run_cell(WorkloadSpec(category, size, algorithm))
+
+    return _run

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Community detection on non-SBPC graphs (the paper's motivating use).
+
+The introduction motivates SBP with social networks and web graphs —
+structures with varied community sizes and strong intra-community links
+where modularity methods struggle.  This example partitions two such
+graphs built with networkx:
+
+1. a *planted-partition* social network with very unequal community
+   sizes (the "high size variation" regime), and
+2. a relaxed-caveman graph — tight cliques with sparse rewiring.
+
+Both are undirected; the converter symmetrizes them.
+
+    python examples/community_detection.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro import GSAPPartitioner, SBPConfig, nmi
+from repro.graph import from_networkx
+
+
+def planted_social_network(seed: int = 0):
+    """Unequal communities: 20/60/120/200-member 'friend circles'."""
+    sizes = [20, 60, 120, 200]
+    p_in, p_out = 0.25, 0.005
+    g = nx.random_partition_graph(sizes, p_in, p_out, seed=seed)
+    truth = np.empty(g.number_of_nodes(), dtype=np.int64)
+    for block_id, members in enumerate(g.graph["partition"]):
+        for v in members:
+            truth[v] = block_id
+    return from_networkx(g), truth
+
+
+def caveman_network(seed: int = 0):
+    """30 cliques of 12, 8% of edges rewired."""
+    g = nx.relaxed_caveman_graph(30, 12, 0.08, seed=seed)
+    truth = np.repeat(np.arange(30, dtype=np.int64), 12)
+    return from_networkx(g), truth
+
+
+def run(name: str, graph, truth) -> None:
+    result = GSAPPartitioner(SBPConfig(seed=9)).partition(graph)
+    print(f"{name}:")
+    print(f"  {graph.num_vertices} vertices, {graph.num_edges} directed edges")
+    print(f"  true communities: {int(truth.max()) + 1}, "
+          f"found: {result.num_blocks}")
+    print(f"  NMI: {nmi(result.partition, truth):.3f}   "
+          f"MDL: {result.mdl:.0f}   time: {result.total_time_s:.1f}s")
+    sizes = np.bincount(result.partition)
+    print(f"  block sizes: min={sizes.min()} median={int(np.median(sizes))} "
+          f"max={sizes.max()}\n")
+
+
+def main() -> None:
+    run("planted social network (unequal communities)",
+        *planted_social_network())
+    run("relaxed caveman graph (strong intra-community links)",
+        *caveman_network())
+
+
+if __name__ == "__main__":
+    main()

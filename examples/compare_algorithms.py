@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Compare GSAP against the CPU baselines on one graph.
+
+Reproduces a single cell of the paper's Tables 3 and 4: same graph, same
+Table 2 parameters, three partitioners.  Prints a runtime + quality
+table like the paper's, plus the phase breakdown (Fig. 10's data).
+
+    python examples/compare_algorithms.py [num_vertices]
+
+Expect a few minutes with the default 400 vertices — the sequential CPU
+baselines are the slow part, which is rather the point of the paper.
+"""
+
+import sys
+
+from repro import SBPConfig, load_dataset, nmi
+from repro.baselines import ISBPPartitioner, USAPPartitioner
+from repro.core import GSAPPartitioner
+
+
+def main() -> None:
+    num_vertices = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    graph, truth = load_dataset("high_low", num_vertices, seed=3)
+    print(
+        f"high_low graph: {graph.num_vertices} vertices, "
+        f"{graph.num_edges} edges, planted B={int(truth.max()) + 1}\n"
+    )
+
+    config = SBPConfig(seed=11)
+    partitioners = [
+        USAPPartitioner(config),
+        ISBPPartitioner(config),
+        GSAPPartitioner(config),
+    ]
+
+    print(f"{'algorithm':<12} {'time':>8} {'blocks':>7} {'MDL':>12} {'NMI':>6}")
+    results = []
+    for partitioner in partitioners:
+        result = partitioner.partition(graph)
+        results.append(result)
+        print(
+            f"{result.algorithm:<12} {result.total_time_s:>7.1f}s "
+            f"{result.num_blocks:>7d} {result.mdl:>12.1f} "
+            f"{nmi(result.partition, truth):>6.3f}"
+        )
+
+    print("\nphase breakdown (share of runtime):")
+    print(f"{'algorithm':<12} {'block-merge':>12} {'vertex-move':>12} "
+          f"{'golden-sec':>11}")
+    for result in results:
+        shares = result.timings.shares()
+        print(
+            f"{result.algorithm:<12} {shares['block_merge']:>11.1%} "
+            f"{shares['vertex_move']:>11.1%} {shares['golden_section']:>10.1%}"
+        )
+
+    gsap = results[-1]
+    for base in results[:-1]:
+        if gsap.total_time_s > 0:
+            print(
+                f"\nGSAP speedup over {base.algorithm}: "
+                f"{base.total_time_s / gsap.total_time_s:.1f}x"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""The full GraphChallenge file pipeline, end to end.
+
+Mirrors how the HPEC SBP Challenge is actually run: graphs and ground
+truths live in TSV files; the partitioner reads the edge list, writes its
+partition, and a separate scorer compares against the truth file.  This
+example exercises the library's IO layer plus all four SBPC categories.
+
+    python examples/graphchallenge_pipeline.py [workdir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import GSAPPartitioner, SBPConfig, nmi
+from repro.graph import (
+    CATEGORIES,
+    CATEGORY_LABELS,
+    generate_category_graph,
+    load_edge_list,
+    load_truth_partition,
+    save_edge_list,
+    save_truth_partition,
+)
+
+
+def main() -> None:
+    workdir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        tempfile.mkdtemp(prefix="sbpc_")
+    )
+    workdir.mkdir(parents=True, exist_ok=True)
+    num_vertices = 300
+    config = SBPConfig(seed=5)
+
+    print(f"working directory: {workdir}\n")
+    print(f"{'category':<12} {'E':>7} {'B*':>4} {'NMI':>6} {'time':>7}")
+    for category in CATEGORIES:
+        overlap, variation = category.split("_")
+        # 1. dataset generation (what the challenge organisers do)
+        graph, truth = generate_category_graph(
+            num_vertices, overlap, variation, seed=17
+        )
+        edge_path = workdir / f"{category}_{num_vertices}.tsv"
+        truth_path = workdir / f"{category}_{num_vertices}_truth.tsv"
+        save_edge_list(graph, edge_path)
+        save_truth_partition(truth, truth_path)
+
+        # 2. contestant side: read the file, partition, write the answer
+        loaded = load_edge_list(edge_path)
+        result = GSAPPartitioner(config).partition(loaded)
+        answer_path = workdir / f"{category}_{num_vertices}_answer.tsv"
+        save_truth_partition(result.partition, answer_path)
+
+        # 3. scoring side: compare answer file against truth file
+        answer = load_truth_partition(
+            answer_path, num_vertices=loaded.num_vertices
+        )
+        reference = load_truth_partition(
+            truth_path, num_vertices=loaded.num_vertices
+        )
+        score = nmi(answer, reference)
+        print(
+            f"{CATEGORY_LABELS[category]:<12} {loaded.num_edges:>7} "
+            f"{result.num_blocks:>4} {score:>6.3f} "
+            f"{result.total_time_s:>6.1f}s"
+        )
+
+    print("\nNote the difficulty ordering: Low-Low scores highest, "
+          "High-High lowest — the same gradient as paper Table 4.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Streaming partitioning: track communities as a graph arrives in stages.
+
+Emulates the Streaming Graph Challenge: a 400-vertex SBPC graph arrives
+as five random edge batches; :class:`StreamingGSAP` maintains a partition
+across stages (full search occasionally, cheap warm-started refinement
+otherwise) and we score each stage against the planted truth.
+
+    python examples/streaming_partition.py
+"""
+
+from repro import SBPConfig, StreamingGSAP, load_dataset, nmi
+from repro.graph import edge_sample_stream
+
+
+def main() -> None:
+    graph, truth = load_dataset("low_low", 400, seed=8)
+    num_stages = 5
+    print(f"full graph: {graph.num_vertices} vertices, "
+          f"{graph.num_edges} edges, arriving in {num_stages} stages\n")
+
+    partitioner = StreamingGSAP(
+        SBPConfig(seed=21), research_interval=2
+    )
+    results = partitioner.partition_stream(
+        edge_sample_stream(graph, num_stages, seed=4), graph.num_vertices
+    )
+
+    print(f"{'stage':>5} {'edges':>7} {'blocks':>7} {'NMI':>6} "
+          f"{'time':>7}  mode")
+    for r in results:
+        mode = "full search" if r.full_search else "warm refine"
+        score = nmi(r.partition, truth)
+        print(
+            f"{r.stage:>5} {r.num_edges:>7} {r.num_blocks:>7} "
+            f"{score:>6.3f} {r.stage_time_s:>6.1f}s  {mode}"
+        )
+
+    print("\nNote how refinement stages cost a fraction of the full "
+          "searches while the NMI keeps improving as edges accumulate.")
+
+
+if __name__ == "__main__":
+    main()

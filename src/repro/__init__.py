@@ -1,0 +1,90 @@
+"""repro — reproduction of *GSAP: A GPU-Accelerated Stochastic Graph
+Partitioner* (Chang, Zhang, Huang; ICPP 2024).
+
+The package provides:
+
+* :class:`GSAPPartitioner` — the paper's system: stochastic block
+  partitioning with lookup-table proposal generation, batched ΔMDL
+  evaluation, and full blockmodel rebuilds, executed on a simulated GPU
+  device (:mod:`repro.gpusim`);
+* CPU baselines (:mod:`repro.baselines`) modelled on uSAP and I-SBP;
+* the DC-SBM dataset generator reproducing the HPEC SBPC benchmark
+  categories (:mod:`repro.graph`);
+* quality metrics (:mod:`repro.metrics`) and the benchmark harness
+  (:mod:`repro.bench`) regenerating every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro import GSAPPartitioner, load_dataset, nmi
+>>> graph, truth = load_dataset("low_low", 1_000)
+>>> result = GSAPPartitioner().partition(graph)
+>>> score = nmi(result.partition, truth)
+"""
+
+from .analysis import compare_partitions, quotient_graph, summarize_partition
+from .checkpoint import load_result, save_result
+from .config import SBPConfig
+from .core import (
+    GSAPPartitioner,
+    PartitionResult,
+    StreamingGSAP,
+    partition_graph,
+)
+from .errors import (
+    ConfigError,
+    ConvergenceError,
+    DatasetError,
+    DeviceError,
+    GraphFormatError,
+    GraphValidationError,
+    PartitionError,
+    ReproError,
+)
+from .graph import (
+    DiGraphCSR,
+    build_graph,
+    generate_category_graph,
+    generate_dcsbm,
+    load_dataset,
+    load_edge_list,
+    load_graph_with_truth,
+)
+from .gpusim import A4000, Device, get_default_device
+from .metrics import ari, nmi, pairwise_scores
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "compare_partitions",
+    "quotient_graph",
+    "summarize_partition",
+    "load_result",
+    "save_result",
+    "StreamingGSAP",
+    "SBPConfig",
+    "GSAPPartitioner",
+    "PartitionResult",
+    "partition_graph",
+    "ConfigError",
+    "ConvergenceError",
+    "DatasetError",
+    "DeviceError",
+    "GraphFormatError",
+    "GraphValidationError",
+    "PartitionError",
+    "ReproError",
+    "DiGraphCSR",
+    "build_graph",
+    "generate_category_graph",
+    "generate_dcsbm",
+    "load_dataset",
+    "load_edge_list",
+    "load_graph_with_truth",
+    "A4000",
+    "Device",
+    "get_default_device",
+    "ari",
+    "nmi",
+    "pairwise_scores",
+    "__version__",
+]

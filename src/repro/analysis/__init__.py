@@ -1,0 +1,32 @@
+"""Partition analysis: quotient graphs, block statistics, comparisons."""
+
+from .block_graph import BlockGraph, quotient_graph
+from .compare import (
+    BlockMatch,
+    ComparisonReport,
+    compare_partitions,
+    comparison_markdown,
+    match_blocks,
+    relabel_to_match,
+)
+from .summaries import (
+    BlockStats,
+    PartitionSummary,
+    summarize_partition,
+    summary_markdown,
+)
+
+__all__ = [
+    "BlockGraph",
+    "quotient_graph",
+    "BlockMatch",
+    "ComparisonReport",
+    "compare_partitions",
+    "comparison_markdown",
+    "match_blocks",
+    "relabel_to_match",
+    "BlockStats",
+    "PartitionSummary",
+    "summarize_partition",
+    "summary_markdown",
+]

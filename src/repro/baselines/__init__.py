@@ -1,0 +1,32 @@
+"""CPU baseline partitioners modelled on the paper's comparison systems."""
+
+from .common import (
+    CPUSBPEngine,
+    hastings_correction_dense,
+    propose_from_blockmodel,
+    vertex_neighborhood,
+)
+from .edist import CommStats, EDiStPartitioner
+from .fastersbp import FasterSBPPartitioner, aggressive_initial_merge
+from .hsbp import HSBPPartitioner
+from .isbp import ISBPPartitioner, extend_partition, sample_subgraph
+from .reference import ReferenceSBP
+from .usap import USAPPartitioner, scc_initial_partition
+
+__all__ = [
+    "CPUSBPEngine",
+    "hastings_correction_dense",
+    "propose_from_blockmodel",
+    "vertex_neighborhood",
+    "CommStats",
+    "EDiStPartitioner",
+    "FasterSBPPartitioner",
+    "aggressive_initial_merge",
+    "HSBPPartitioner",
+    "ISBPPartitioner",
+    "extend_partition",
+    "sample_subgraph",
+    "ReferenceSBP",
+    "USAPPartitioner",
+    "scc_initial_partition",
+]

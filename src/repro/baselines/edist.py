@@ -1,0 +1,177 @@
+"""EDiSt-like distributed SBP (Wanye et al., CLUSTER 2023), simulated.
+
+EDiSt distributes SBP over compute nodes: each rank owns a vertex shard
+and a replica of the blockmodel, proposes and evaluates moves for its
+shard locally, then exchanges accepted moves **all-to-all** so every
+replica converges before the next round.  The paper's related-work
+section singles out that "the all-to-all communication pattern in EDiSt
+becomes a significant bottleneck as the number of nodes increases".
+
+Without MPI in this environment, the ranks execute sequentially
+in-process (the same substitution style as the simulated GPU): the
+algorithm — shard-local stale-replica evaluation, round-synchronous
+all-to-all move exchange — is the real one, and the communication layer
+counts every byte and message so the bottleneck claim is measurable
+(``bench_ablation_distributed.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..blockmodel.delta import move_delta_dense
+from ..blockmodel.dense import DenseBlockmodel
+from ..blockmodel.entropy import description_length
+from ..config import SBPConfig
+from ..errors import PartitionError
+from ..graph.csr import DiGraphCSR
+from ..types import INDEX_DTYPE
+from .common import (
+    CPUSBPEngine,
+    MovePhaseResult,
+    hastings_correction_dense,
+    propose_from_blockmodel,
+    vertex_neighborhood,
+)
+
+#: bytes per exchanged move record: (vertex id, from block, to block)
+MOVE_RECORD_BYTES = 3 * 8
+
+
+@dataclass
+class CommStats:
+    """Counters of the simulated interconnect."""
+
+    rounds: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+
+    def record_alltoall(self, num_ranks: int, payload_bytes_per_rank: List[int]) -> None:
+        """One all-to-all: every rank sends its payload to every other."""
+        self.rounds += 1
+        for payload in payload_bytes_per_rank:
+            # (num_ranks - 1) point-to-point messages per rank
+            self.messages += num_ranks - 1
+            self.bytes_sent += payload * (num_ranks - 1)
+
+
+class EDiStPartitioner(CPUSBPEngine):
+    """Distributed-SBP baseline with rank sharding + all-to-all exchange."""
+
+    name = "EDiSt"
+
+    def __init__(
+        self,
+        config: Optional[SBPConfig] = None,
+        num_ranks: int = 4,
+        max_plateaus: int = 128,
+    ) -> None:
+        super().__init__(config, max_plateaus)
+        if num_ranks < 1:
+            raise PartitionError("num_ranks must be >= 1")
+        self.num_ranks = num_ranks
+        self.comm = CommStats()
+
+    # ------------------------------------------------------------------
+    def _shards(self, num_vertices: int) -> List[np.ndarray]:
+        """Contiguous vertex shards, one per rank (EDiSt's 1-D layout)."""
+        bounds = np.linspace(0, num_vertices, self.num_ranks + 1).astype(int)
+        return [
+            np.arange(bounds[i], bounds[i + 1], dtype=INDEX_DTYPE)
+            for i in range(self.num_ranks)
+        ]
+
+    def _move_phase(
+        self,
+        graph: DiGraphCSR,
+        model: DenseBlockmodel,
+        bmap: np.ndarray,
+        rng: np.random.Generator,
+        threshold: float,
+        initial_mdl_scale: float,
+    ) -> MovePhaseResult:
+        config = self.config
+        num_vertices = graph.num_vertices
+        total_weight = graph.total_edge_weight
+        shards = self._shards(num_vertices)
+
+        mdl = description_length(model, num_vertices, total_weight)
+        scale = abs(initial_mdl_scale)
+        window: list[float] = []
+        proposals = 0
+        proposal_time = 0.0
+        converged = False
+        sweeps = 0
+
+        for sweep in range(config.max_num_nodal_itr):
+            sweeps = sweep + 1
+            # --- local phase: every rank evaluates its shard against the
+            # replica frozen at round start (stale reads are the point)
+            accepted_per_rank: List[list] = []
+            for shard in shards:
+                accepted: list = []
+                for v in rng.permutation(shard):
+                    v = int(v)
+                    r = int(bmap[v])
+                    nbhd = vertex_neighborhood(graph, bmap, v)
+                    t0 = time.perf_counter()
+                    pivots = np.concatenate(
+                        [nbhd.k_out_blocks, nbhd.k_in_blocks]
+                    )
+                    pivot_w = np.concatenate(
+                        [nbhd.k_out_weights, nbhd.k_in_weights]
+                    )
+                    s = propose_from_blockmodel(model, pivots, pivot_w, rng)
+                    proposal_time += time.perf_counter() - t0
+                    proposals += 1
+                    if s == r:
+                        continue
+                    delta = move_delta_dense(model, r, s, nbhd)
+                    hastings = hastings_correction_dense(model, r, s, nbhd)
+                    exponent = min(700.0, max(-700.0, -config.beta * delta))
+                    if rng.random() < min(1.0, math.exp(exponent) * hastings):
+                        accepted.append((v, r, s))
+                accepted_per_rank.append(accepted)
+
+            # --- all-to-all: each rank broadcasts its accepted moves
+            self.comm.record_alltoall(
+                self.num_ranks,
+                [len(a) * MOVE_RECORD_BYTES for a in accepted_per_rank],
+            )
+
+            # --- apply phase: every replica applies the global move set
+            for accepted in accepted_per_rank:
+                for v, r, s in accepted:
+                    current = int(bmap[v])
+                    if current == s:
+                        continue
+                    nbhd = vertex_neighborhood(graph, bmap, v)
+                    model.apply_move(
+                        current, s,
+                        nbhd.k_out_blocks, nbhd.k_out_weights.astype(np.int64),
+                        nbhd.k_in_blocks, nbhd.k_in_weights.astype(np.int64),
+                        nbhd.self_weight,
+                    )
+                    bmap[v] = s
+
+            new_mdl = description_length(model, num_vertices, total_weight)
+            window.append(mdl - new_mdl)
+            mdl = new_mdl
+            if len(window) > config.delta_entropy_moving_avg_window:
+                window.pop(0)
+            if len(window) == config.delta_entropy_moving_avg_window:
+                if abs(sum(window) / len(window)) < threshold * scale:
+                    converged = True
+                    break
+        return MovePhaseResult(
+            mdl=mdl,
+            num_sweeps=sweeps,
+            num_proposals=proposals,
+            proposal_time_s=proposal_time,
+            converged=converged,
+        )

@@ -1,0 +1,142 @@
+"""H-SBP-like baseline (Wanye, Gleyzer, Kao, Feng — ICPP 2022).
+
+H-SBP's signature is the **hybrid MCMC / asynchronous-Gibbs** schedule:
+"serially processing a select portion of the most influential vertices
+and parallelizing the remainder".  Influence is degree: the top
+``influential_fraction`` of vertices by total degree move one at a time
+(exact serial MCMC — their moves perturb the blockmodel most), while the
+long tail moves in large async batches.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..blockmodel.delta import move_delta_dense
+from ..blockmodel.entropy import description_length
+from ..config import SBPConfig
+from ..graph.csr import DiGraphCSR
+from ..types import INDEX_DTYPE
+from .common import (
+    CPUSBPEngine,
+    MovePhaseResult,
+    hastings_correction_dense,
+    propose_from_blockmodel,
+    vertex_neighborhood,
+)
+
+
+class HSBPPartitioner(CPUSBPEngine):
+    """H-SBP-like baseline: serial head + async-Gibbs tail per sweep."""
+
+    name = "H-SBP"
+
+    def __init__(
+        self,
+        config: Optional[SBPConfig] = None,
+        influential_fraction: float = 0.1,
+        max_plateaus: int = 128,
+    ) -> None:
+        super().__init__(config, max_plateaus)
+        if not (0.0 <= influential_fraction <= 1.0):
+            raise ValueError("influential_fraction must be in [0, 1]")
+        self.influential_fraction = influential_fraction
+
+    def _move_phase(
+        self,
+        graph: DiGraphCSR,
+        model,
+        bmap: np.ndarray,
+        rng: np.random.Generator,
+        threshold: float,
+        initial_mdl_scale: float,
+    ) -> MovePhaseResult:
+        config = self.config
+        num_vertices = graph.num_vertices
+        total_weight = graph.total_edge_weight
+        degrees = graph.degrees()
+        head_count = int(round(self.influential_fraction * num_vertices))
+        head = np.argsort(-degrees)[:head_count]
+        head_set = set(head.tolist())
+        tail = np.array(
+            [v for v in range(num_vertices) if v not in head_set],
+            dtype=INDEX_DTYPE,
+        )
+
+        mdl = description_length(model, num_vertices, total_weight)
+        scale = abs(initial_mdl_scale)
+        window: list[float] = []
+        proposals = 0
+        proposal_time = 0.0
+        converged = False
+        sweeps = 0
+
+        def try_move(v: int, apply_now: bool, pending: list) -> None:
+            nonlocal proposals, proposal_time
+            r = int(bmap[v])
+            nbhd = vertex_neighborhood(graph, bmap, v)
+            t0 = time.perf_counter()
+            pivots = np.concatenate([nbhd.k_out_blocks, nbhd.k_in_blocks])
+            pivot_w = np.concatenate([nbhd.k_out_weights, nbhd.k_in_weights])
+            s = propose_from_blockmodel(model, pivots, pivot_w, rng)
+            proposal_time += time.perf_counter() - t0
+            proposals += 1
+            if s == r:
+                return
+            delta = move_delta_dense(model, r, s, nbhd)
+            hastings = hastings_correction_dense(model, r, s, nbhd)
+            exponent = min(700.0, max(-700.0, -config.beta * delta))
+            if rng.random() < min(1.0, math.exp(exponent) * hastings):
+                if apply_now:
+                    model.apply_move(
+                        r, s,
+                        nbhd.k_out_blocks, nbhd.k_out_weights.astype(np.int64),
+                        nbhd.k_in_blocks, nbhd.k_in_weights.astype(np.int64),
+                        nbhd.self_weight,
+                    )
+                    bmap[v] = s
+                else:
+                    pending.append((v, s))
+
+        for sweep in range(config.max_num_nodal_itr):
+            sweeps = sweep + 1
+            # serial head: exact MCMC over the influential vertices
+            for v in rng.permutation(head):
+                try_move(int(v), apply_now=True, pending=[])
+            # parallel tail: one big async-Gibbs batch
+            pending: list = []
+            for v in rng.permutation(tail):
+                try_move(int(v), apply_now=False, pending=pending)
+            for v, s in pending:
+                r = int(bmap[v])
+                if r == s:
+                    continue
+                nbhd = vertex_neighborhood(graph, bmap, v)
+                model.apply_move(
+                    r, s,
+                    nbhd.k_out_blocks, nbhd.k_out_weights.astype(np.int64),
+                    nbhd.k_in_blocks, nbhd.k_in_weights.astype(np.int64),
+                    nbhd.self_weight,
+                )
+                bmap[v] = s
+
+            new_mdl = description_length(model, num_vertices, total_weight)
+            window.append(mdl - new_mdl)
+            mdl = new_mdl
+            if len(window) > config.delta_entropy_moving_avg_window:
+                window.pop(0)
+            if len(window) == config.delta_entropy_moving_avg_window:
+                if abs(sum(window) / len(window)) < threshold * scale:
+                    converged = True
+                    break
+        return MovePhaseResult(
+            mdl=mdl,
+            num_sweeps=sweeps,
+            num_proposals=proposals,
+            proposal_time_s=proposal_time,
+            converged=converged,
+        )

@@ -1,0 +1,23 @@
+"""The GraphChallenge reference SBP: strictly sequential MCMC.
+
+This is the algorithm every contestant system (uSAP, I-SBP, GSAP)
+accelerates: singleton initialisation, per-block merge proposals, and a
+serial Metropolis-Hastings chain that updates the dense blockmodel after
+every accepted move.  It is deliberately unoptimised — its per-vertex
+iterative structure is the yardstick the paper's speedups are measured
+against.
+"""
+
+from __future__ import annotations
+
+from .common import CPUSBPEngine
+
+
+class ReferenceSBP(CPUSBPEngine):
+    """Sequential reference stochastic block partitioning."""
+
+    name = "reference-sbp"
+
+    def move_batch_size(self, num_vertices: int) -> int:
+        # classic serial MCMC: refresh the blockmodel after every vertex
+        return 1

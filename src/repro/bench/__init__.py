@@ -1,0 +1,69 @@
+"""Benchmark harness regenerating the paper's tables and figures."""
+
+from .harness import ALGORITHMS, BenchHarness, CellResult, make_partitioner
+from .tables import table1_markdown, table3_markdown, table4_markdown, to_csv
+from .figures import (
+    fig8_markdown,
+    fig8_series,
+    fig9_markdown,
+    fig9_series,
+    fig10_markdown,
+    fig10_series,
+    fig11_markdown,
+    fig11_series,
+    fig12_markdown,
+)
+from .projection import (
+    GSAPProjection,
+    PowerLawFit,
+    fit_power_law,
+    measure_scaling,
+    projection_markdown,
+)
+from .report import ReportOptions, build_report, write_report_artifacts
+from .workloads import (
+    BENCH_CATEGORIES,
+    WorkloadSpec,
+    bench_config,
+    bench_scale,
+    full_matrix,
+    gsap_only_sizes,
+    matrix_sizes,
+    update_bench_sizes,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "BenchHarness",
+    "CellResult",
+    "make_partitioner",
+    "table1_markdown",
+    "table3_markdown",
+    "table4_markdown",
+    "to_csv",
+    "fig8_markdown",
+    "fig8_series",
+    "fig9_markdown",
+    "fig9_series",
+    "fig10_markdown",
+    "fig10_series",
+    "fig11_markdown",
+    "fig11_series",
+    "fig12_markdown",
+    "GSAPProjection",
+    "PowerLawFit",
+    "fit_power_law",
+    "measure_scaling",
+    "projection_markdown",
+    "ReportOptions",
+    "build_report",
+    "write_report_artifacts",
+    "BENCH_CATEGORIES",
+    "WorkloadSpec",
+    "bench_config",
+    "bench_scale",
+    "full_matrix",
+    "gsap_only_sizes",
+    "matrix_sizes",
+    "update_bench_sizes",
+]

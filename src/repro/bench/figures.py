@@ -1,0 +1,175 @@
+"""Render the paper's figures as text series + ASCII charts.
+
+Each ``figN_series`` function returns the plotted data (what a plotting
+script would consume); each ``figN_markdown`` renders it readably for
+EXPERIMENTS.md.  A small ASCII bar helper keeps the output legible in a
+terminal, matching the no-display constraint of the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..graph.datasets import CATEGORIES, CATEGORY_LABELS
+from .harness import BenchHarness
+
+
+def _bar(value: float, scale: float, width: int = 40) -> str:
+    if scale <= 0:
+        return ""
+    n = max(0, min(width, int(round(width * value / scale))))
+    return "#" * n
+
+
+# ----------------------------------------------------------------------
+# Figure 8: GSAP speedup over uSAP and I-SBP per category/size
+# ----------------------------------------------------------------------
+def fig8_series(
+    harness: BenchHarness, sizes: Sequence[int]
+) -> Dict[str, List[Tuple[str, int, Optional[float]]]]:
+    """``{baseline: [(category, size, speedup), ...]}``."""
+    out: Dict[str, List[Tuple[str, int, Optional[float]]]] = {}
+    for baseline in ("uSAP", "I-SBP"):
+        series = []
+        for category in CATEGORIES:
+            for size in sizes:
+                series.append(
+                    (category, size, harness.speedup_over(baseline, category, size))
+                )
+        out[baseline] = series
+    return out
+
+
+def fig8_markdown(harness: BenchHarness, sizes: Sequence[int]) -> str:
+    series = fig8_series(harness, sizes)
+    lines = ["### Figure 8 — GSAP speedup over CPU baselines", ""]
+    values = [
+        v for rows in series.values() for (_, _, v) in rows if v is not None
+    ]
+    scale = max(values) if values else 1.0
+    for baseline, rows in series.items():
+        lines.append(f"**vs {baseline}**")
+        lines.append("")
+        lines.append("| category | V | speedup | |")
+        lines.append("|---|---|---|---|")
+        for category, size, v in rows:
+            shown = f"{v:.1f}x" if v is not None else "-"
+            bar = _bar(v, scale) if v is not None else ""
+            lines.append(
+                f"| {CATEGORY_LABELS[category]} | {size:,} | {shown} | `{bar}` |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 9: runtime-vs-size curves on the Low-Low category
+# ----------------------------------------------------------------------
+def fig9_series(
+    harness: BenchHarness, category: str = "low_low"
+) -> Dict[str, List[Tuple[int, float]]]:
+    return {
+        algo: harness.runtime_series(algo, category)
+        for algo in ("uSAP", "I-SBP", "GSAP")
+    }
+
+
+def fig9_markdown(harness: BenchHarness, category: str = "low_low") -> str:
+    series = fig9_series(harness, category)
+    lines = [
+        f"### Figure 9 — runtime on the {CATEGORY_LABELS[category]} category",
+        "",
+        "| V | " + " | ".join(series.keys()) + " |",
+        "|---|" + "---|" * len(series),
+    ]
+    sizes = sorted({v for rows in series.values() for v, _ in rows})
+    lookup = {
+        algo: dict(rows) for algo, rows in series.items()
+    }
+    for size in sizes:
+        cells = []
+        for algo in series:
+            t = lookup[algo].get(size)
+            cells.append(f"{t:.2f}s" if t is not None else "-")
+        lines.append(f"| {size:,} | " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 10: phase-share breakdown
+# ----------------------------------------------------------------------
+def fig10_series(
+    harness: BenchHarness, category: str, size: int
+) -> Dict[str, Dict[str, float]]:
+    return {
+        algo: harness.breakdown(algo, category, size)
+        for algo in ("uSAP", "I-SBP", "GSAP")
+    }
+
+
+def fig10_markdown(harness: BenchHarness, category: str, size: int) -> str:
+    series = fig10_series(harness, category, size)
+    lines = [
+        f"### Figure 10 — runtime breakdown "
+        f"({CATEGORY_LABELS[category]}, {size:,} vertices)",
+        "",
+        "| algorithm | block-merge | vertex-move | golden-section |",
+        "|---|---|---|---|",
+    ]
+    for algo, shares in series.items():
+        if not shares:
+            lines.append(f"| {algo} | - | - | - |")
+            continue
+        lines.append(
+            f"| {algo} | {shares['block_merge']:.1%} | "
+            f"{shares['vertex_move']:.1%} | {shares['golden_section']:.1%} |"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 11: average runtime per proposal
+# ----------------------------------------------------------------------
+def fig11_series(
+    harness: BenchHarness, category: str, size: int
+) -> Dict[str, Tuple[float, float]]:
+    return {
+        algo: harness.proposal_averages(algo, category, size)
+        for algo in ("uSAP", "I-SBP", "GSAP")
+    }
+
+
+def fig11_markdown(harness: BenchHarness, category: str, size: int) -> str:
+    series = fig11_series(harness, category, size)
+    lines = [
+        f"### Figure 11 — average time per proposal "
+        f"({CATEGORY_LABELS[category]}, {size:,} vertices)",
+        "",
+        "| algorithm | block-merge proposal | vertex-move proposal |",
+        "|---|---|---|",
+    ]
+    for algo, (merge_avg, move_avg) in series.items():
+        lines.append(
+            f"| {algo} | {merge_avg * 1e6:.1f} µs | {move_avg * 1e6:.1f} µs |"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 12: blockmodel-update speedup (device vs CPU loop)
+# ----------------------------------------------------------------------
+def fig12_markdown(rows: Iterable[Tuple[int, int, float, float]]) -> str:
+    """Render ``(num_vertices, num_edges, gpu_s, cpu_s)`` rows."""
+    lines = [
+        "### Figure 12 — blockmodel update: device vs CPU",
+        "",
+        "| V | E | device update | CPU update | speedup |",
+        "|---|---|---|---|---|",
+    ]
+    for v, e, gpu_s, cpu_s in rows:
+        speedup = cpu_s / gpu_s if gpu_s > 0 else float("inf")
+        lines.append(
+            f"| {v:,} | {e:,} | {gpu_s * 1e3:.1f} ms | {cpu_s * 1e3:.1f} ms | "
+            f"{speedup:.1f}x |"
+        )
+    return "\n".join(lines)

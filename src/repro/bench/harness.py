@@ -1,0 +1,152 @@
+"""Benchmark harness: run partitioners over the evaluation matrix.
+
+One :class:`BenchHarness` instance caches every run, so the runtime table
+(Table 3), the NMI table (Table 4) and the figures (8-11) all derive from
+a single sweep — exactly how the paper's evaluation reuses runs across
+its tables and figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..baselines import ISBPPartitioner, ReferenceSBP, USAPPartitioner
+from ..config import SBPConfig
+from ..core.partitioner import GSAPPartitioner
+from ..core.result import PartitionResult
+from ..errors import ReproError
+from ..graph.datasets import load_dataset
+from ..gpusim.device import A4000, Device
+from ..metrics import ari, nmi
+from .workloads import WorkloadSpec, bench_config
+
+ALGORITHMS: Tuple[str, ...] = ("uSAP", "I-SBP", "GSAP")
+
+
+@dataclass
+class CellResult:
+    """Everything recorded for one benchmark cell."""
+
+    spec: WorkloadSpec
+    result: PartitionResult
+    nmi: float
+    ari: float
+    num_edges: int
+
+    @property
+    def runtime_s(self) -> float:
+        return self.result.total_time_s
+
+    @property
+    def sim_time_s(self) -> float:
+        return self.result.sim_time_s
+
+    def row(self) -> dict:
+        return {
+            "algorithm": self.spec.algorithm,
+            "category": self.spec.category,
+            "num_vertices": self.spec.num_vertices,
+            "num_edges": self.num_edges,
+            "runtime_s": self.runtime_s,
+            "sim_time_s": self.sim_time_s,
+            "num_blocks": self.result.num_blocks,
+            "mdl": self.result.mdl,
+            "nmi": self.nmi,
+            "ari": self.ari,
+            "num_sweeps": self.result.num_sweeps,
+            "block_merge_s": self.result.timings.block_merge_s,
+            "vertex_move_s": self.result.timings.vertex_move_s,
+            "golden_section_s": self.result.timings.golden_section_s,
+            "merge_proposals": self.result.proposal_stats.merge_proposals,
+            "merge_proposal_time_s": self.result.proposal_stats.merge_proposal_time_s,
+            "move_proposals": self.result.proposal_stats.move_proposals,
+            "move_proposal_time_s": self.result.proposal_stats.move_proposal_time_s,
+        }
+
+
+def make_partitioner(algorithm: str, config: SBPConfig):
+    """Instantiate a partitioner by benchmark name."""
+    if algorithm == "GSAP":
+        return GSAPPartitioner(config, device=Device(A4000))
+    if algorithm == "uSAP":
+        return USAPPartitioner(config)
+    if algorithm == "I-SBP":
+        return ISBPPartitioner(config)
+    if algorithm == "reference":
+        return ReferenceSBP(config)
+    raise ReproError(f"unknown algorithm {algorithm!r}")
+
+
+class BenchHarness:
+    """Runs and caches benchmark cells."""
+
+    def __init__(self, config: Optional[SBPConfig] = None, seed: int = 0) -> None:
+        self.config = config or bench_config(seed)
+        self._cells: Dict[str, CellResult] = {}
+
+    # ------------------------------------------------------------------
+    def run_cell(self, spec: WorkloadSpec) -> CellResult:
+        """Run (or fetch the cached) benchmark cell."""
+        if spec.key in self._cells:
+            return self._cells[spec.key]
+        graph, truth = load_dataset(spec.category, spec.num_vertices)
+        partitioner = make_partitioner(spec.algorithm, self.config)
+        result = partitioner.partition(graph)
+        cell = CellResult(
+            spec=spec,
+            result=result,
+            nmi=nmi(result.partition, truth),
+            ari=ari(result.partition, truth),
+            num_edges=graph.num_edges,
+        )
+        self._cells[spec.key] = cell
+        return cell
+
+    def run_matrix(self, specs: Iterable[WorkloadSpec]) -> List[CellResult]:
+        return [self.run_cell(spec) for spec in specs]
+
+    def cells(self) -> List[CellResult]:
+        return list(self._cells.values())
+
+    # ------------------------------------------------------------------
+    # derived series (the figures)
+    # ------------------------------------------------------------------
+    def speedup_over(
+        self, baseline: str, category: str, num_vertices: int
+    ) -> Optional[float]:
+        """GSAP's runtime speedup over *baseline* for one cell (Fig. 8)."""
+        g = self._cells.get(WorkloadSpec(category, num_vertices, "GSAP").key)
+        b = self._cells.get(WorkloadSpec(category, num_vertices, baseline).key)
+        if g is None or b is None or g.runtime_s <= 0:
+            return None
+        return b.runtime_s / g.runtime_s
+
+    def runtime_series(
+        self, algorithm: str, category: str
+    ) -> List[Tuple[int, float]]:
+        """(num_vertices, runtime) pairs for one algorithm/category (Fig. 9)."""
+        rows = [
+            (c.spec.num_vertices, c.runtime_s)
+            for c in self._cells.values()
+            if c.spec.algorithm == algorithm and c.spec.category == category
+        ]
+        return sorted(rows)
+
+    def breakdown(self, algorithm: str, category: str, num_vertices: int) -> dict:
+        """Phase shares of one cell (Fig. 10)."""
+        cell = self._cells.get(WorkloadSpec(category, num_vertices, algorithm).key)
+        if cell is None:
+            return {}
+        return cell.result.timings.shares()
+
+    def proposal_averages(
+        self, algorithm: str, category: str, num_vertices: int
+    ) -> Tuple[float, float]:
+        """(merge, move) average seconds per proposal of one cell (Fig. 11)."""
+        cell = self._cells.get(WorkloadSpec(category, num_vertices, algorithm).key)
+        if cell is None:
+            return (0.0, 0.0)
+        stats = cell.result.proposal_stats
+        return (stats.merge_avg_s(), stats.move_avg_s())

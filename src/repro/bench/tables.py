@@ -1,0 +1,112 @@
+"""Render the paper's tables from benchmark cells.
+
+All renderers return GitHub-flavoured-markdown strings so benchmark runs
+can paste straight into EXPERIMENTS.md; ``to_csv`` serialises the raw
+rows for archival.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..graph.datasets import CATEGORIES, CATEGORY_LABELS, DatasetSpec
+from .harness import CellResult
+
+
+def _fmt_time(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 60:
+        minutes = int(seconds // 60)
+        return f"{minutes}m{seconds - 60 * minutes:.0f}s"
+    return f"{seconds:.2f}s"
+
+
+def _index(cells: Iterable[CellResult]) -> Dict[Tuple[str, str, int], CellResult]:
+    return {
+        (c.spec.algorithm, c.spec.category, c.spec.num_vertices): c for c in cells
+    }
+
+
+def table1_markdown(sizes: Sequence[int]) -> str:
+    """Table 1: dataset attributes per category and size."""
+    lines = ["| Category | V | ~E (target) | B |", "|---|---|---|---|"]
+    for category in CATEGORIES:
+        for size in sizes:
+            spec = DatasetSpec(category, size)
+            lines.append(
+                f"| {CATEGORY_LABELS[category]} | {size:,} | "
+                f"{spec.expected_num_edges:,} | {spec.num_blocks} |"
+            )
+    return "\n".join(lines)
+
+
+def table3_markdown(
+    cells: Iterable[CellResult],
+    sizes: Sequence[int],
+    algorithms: Sequence[str] = ("uSAP", "I-SBP", "GSAP"),
+    clock: str = "wall",
+) -> str:
+    """Table 3: runtime matrix (category-major columns, sizes as rows).
+
+    ``clock='sim'`` renders GSAP's simulated-device time instead of wall
+    time (baselines always report wall time; they have no device).
+    """
+    index = _index(cells)
+    head = "| V | " + " | ".join(
+        f"{CATEGORY_LABELS[c]} {a}" for c in CATEGORIES for a in algorithms
+    ) + " |"
+    sep = "|" + "---|" * (1 + len(CATEGORIES) * len(algorithms))
+    lines = [head, sep]
+    for size in sizes:
+        row = [f"| {size:,} |"]
+        for category in CATEGORIES:
+            for algo in algorithms:
+                cell = index.get((algo, category, size))
+                if cell is None:
+                    row.append(" - |")
+                    continue
+                seconds = (
+                    cell.sim_time_s
+                    if clock == "sim" and algo == "GSAP"
+                    else cell.runtime_s
+                )
+                row.append(f" {_fmt_time(seconds)} |")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def table4_markdown(
+    cells: Iterable[CellResult],
+    sizes: Sequence[int],
+    algorithms: Sequence[str] = ("uSAP", "I-SBP", "GSAP"),
+) -> str:
+    """Table 4: NMI matrix, same layout as Table 3."""
+    index = _index(cells)
+    head = "| V | " + " | ".join(
+        f"{CATEGORY_LABELS[c]} {a}" for c in CATEGORIES for a in algorithms
+    ) + " |"
+    sep = "|" + "---|" * (1 + len(CATEGORIES) * len(algorithms))
+    lines = [head, sep]
+    for size in sizes:
+        row = [f"| {size:,} |"]
+        for category in CATEGORIES:
+            for algo in algorithms:
+                cell = index.get((algo, category, size))
+                row.append(f" {cell.nmi:.2f} |" if cell else " - |")
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def to_csv(cells: Iterable[CellResult]) -> str:
+    """All cell rows as CSV (archival format for EXPERIMENTS.md runs)."""
+    rows = [c.row() for c in cells]
+    if not rows:
+        return ""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()

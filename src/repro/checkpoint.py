@@ -1,0 +1,90 @@
+"""Saving and loading partitioning results.
+
+A :class:`~repro.core.result.PartitionResult` serialises to a directory:
+``result.json`` (scalars, history, timings) plus ``partition.npy`` (the
+block-id array).  Round-tripping is exact; files are plain JSON/NPY so
+downstream tooling in any language can consume them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .core.result import PartitionResult
+from .core.state import PhaseTimings, ProposalStats
+from .errors import ReproError
+from .types import INDEX_DTYPE
+
+PathLike = Union[str, os.PathLike]
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result: PartitionResult, directory: PathLike) -> Path:
+    """Write *result* under *directory* (created if missing)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "algorithm": result.algorithm,
+        "num_blocks": result.num_blocks,
+        "mdl": result.mdl,
+        "history": [[int(b), float(s)] for b, s in result.history],
+        "timings": {
+            "block_merge_s": result.timings.block_merge_s,
+            "vertex_move_s": result.timings.vertex_move_s,
+            "golden_section_s": result.timings.golden_section_s,
+        },
+        "proposal_stats": {
+            "merge_proposals": result.proposal_stats.merge_proposals,
+            "merge_proposal_time_s": result.proposal_stats.merge_proposal_time_s,
+            "move_proposals": result.proposal_stats.move_proposals,
+            "move_proposal_time_s": result.proposal_stats.move_proposal_time_s,
+        },
+        "total_time_s": result.total_time_s,
+        "sim_time_s": result.sim_time_s,
+        "num_sweeps": result.num_sweeps,
+        "converged": result.converged,
+    }
+    (directory / "result.json").write_text(
+        json.dumps(payload, indent=2), encoding="utf-8"
+    )
+    np.save(directory / "partition.npy", result.partition)
+    return directory
+
+
+def load_result(directory: PathLike) -> PartitionResult:
+    """Load a result previously written by :func:`save_result`."""
+    directory = Path(directory)
+    json_path = directory / "result.json"
+    npy_path = directory / "partition.npy"
+    if not json_path.exists() or not npy_path.exists():
+        raise ReproError(f"no saved result under {directory}")
+    payload = json.loads(json_path.read_text(encoding="utf-8"))
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ReproError(
+            f"unsupported result format version {version!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    partition = np.load(npy_path).astype(INDEX_DTYPE)
+    timings = PhaseTimings(**payload["timings"])
+    stats = ProposalStats(**payload["proposal_stats"])
+    return PartitionResult(
+        partition=partition,
+        num_blocks=int(payload["num_blocks"]),
+        mdl=float(payload["mdl"]),
+        history=[(int(b), float(s)) for b, s in payload["history"]],
+        timings=timings,
+        proposal_stats=stats,
+        total_time_s=float(payload["total_time_s"]),
+        sim_time_s=float(payload["sim_time_s"]),
+        num_sweeps=int(payload["num_sweeps"]),
+        converged=bool(payload["converged"]),
+        algorithm=str(payload["algorithm"]),
+    )

@@ -1,0 +1,323 @@
+"""Command-line interface: ``gsap`` (or ``python -m repro``).
+
+Subcommands
+-----------
+``generate``
+    Synthesize an SBPC-category graph and write edge list + ground truth.
+``partition``
+    Partition an edge-list file with GSAP or a baseline; report MDL/NMI.
+``bench``
+    Run the benchmark matrix and print the paper's tables and figures.
+``info``
+    Print the dataset registry (paper Table 1) at the library's scales.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .bench import (
+    BenchHarness,
+    bench_config,
+    fig8_markdown,
+    fig9_markdown,
+    fig10_markdown,
+    fig11_markdown,
+    full_matrix,
+    gsap_only_sizes,
+    make_partitioner,
+    matrix_sizes,
+    table1_markdown,
+    table3_markdown,
+    table4_markdown,
+    to_csv,
+)
+from .config import SBPConfig
+from .graph.datasets import SIZES, normalize_category
+from .graph.generators import generate_category_graph
+from .graph.io import (
+    load_edge_list,
+    load_truth_partition,
+    save_edge_list,
+    save_truth_partition,
+)
+from .logging_util import enable_verbose_logging
+from .metrics import nmi
+
+
+def _add_generate(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("generate", help="synthesize an SBPC-category graph")
+    p.add_argument("--category", required=True, help="e.g. low_low, High-High")
+    p.add_argument("--vertices", type=int, required=True)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="edge-list TSV path")
+    p.add_argument("--truth-out", help="ground-truth TSV path")
+    p.set_defaults(func=_cmd_generate)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    category = normalize_category(args.category)
+    overlap, variation = category.split("_")
+    graph, truth = generate_category_graph(
+        args.vertices, overlap, variation, seed=args.seed
+    )
+    save_edge_list(graph, args.out)
+    if args.truth_out:
+        save_truth_partition(truth, args.truth_out)
+    print(
+        f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges "
+        f"({int(truth.max()) + 1} planted blocks) to {args.out}"
+    )
+    return 0
+
+
+def _add_partition(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("partition", help="partition an edge-list file")
+    p.add_argument("edges", help="edge-list TSV (1-based ids)")
+    p.add_argument("--truth", help="ground-truth TSV for NMI scoring")
+    p.add_argument(
+        "--algo",
+        default="GSAP",
+        choices=["GSAP", "uSAP", "I-SBP", "reference"],
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="write the partition as TSV")
+    p.add_argument("--zero-based", action="store_true", help="ids start at 0")
+    p.set_defaults(func=_cmd_partition)
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    graph = load_edge_list(args.edges, one_based=not args.zero_based)
+    config = SBPConfig(seed=args.seed)
+    partitioner = make_partitioner(args.algo, config)
+    t0 = time.perf_counter()
+    result = partitioner.partition(graph)
+    elapsed = time.perf_counter() - t0
+    print(f"algorithm      : {result.algorithm}")
+    print(f"vertices/edges : {graph.num_vertices} / {graph.num_edges}")
+    print(f"blocks found   : {result.num_blocks}")
+    print(f"description len: {result.mdl:.2f}")
+    print(f"wall time      : {elapsed:.2f}s")
+    if result.sim_time_s:
+        print(f"sim device time: {result.sim_time_s * 1e3:.1f}ms")
+    if args.truth:
+        truth = load_truth_partition(
+            args.truth, num_vertices=graph.num_vertices,
+            one_based=not args.zero_based,
+        )
+        print(f"NMI vs truth   : {nmi(result.partition, truth):.3f}")
+    if args.out:
+        save_truth_partition(
+            result.partition, args.out, one_based=not args.zero_based
+        )
+        print(f"partition written to {args.out}")
+    return 0
+
+
+def _add_bench(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("bench", help="run the evaluation matrix")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="directory for CSV + markdown artifacts")
+    p.add_argument(
+        "--only",
+        choices=["tables", "figures", "all"],
+        default="all",
+    )
+    p.set_defaults(func=_cmd_bench)
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.report import ReportOptions, build_report
+
+    harness = BenchHarness(bench_config(args.seed))
+    specs = full_matrix(("uSAP", "I-SBP", "GSAP"))
+    total = len(specs)
+    for i, spec in enumerate(specs, 1):
+        print(f"[{i}/{total}] {spec.key} ...", flush=True)
+        cell = harness.run_cell(spec)
+        print(
+            f"    {cell.runtime_s:.2f}s B={cell.result.num_blocks} "
+            f"NMI={cell.nmi:.2f}"
+        )
+    options = ReportOptions(
+        include_tables=args.only in ("tables", "all"),
+        include_figures=args.only in ("figures", "all"),
+    )
+    report = build_report(harness, options)
+    print()
+    print(report)
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "report.md").write_text(report + "\n", encoding="utf-8")
+        (out / "cells.csv").write_text(to_csv(harness.cells()), encoding="utf-8")
+        print(f"\nartifacts written to {out}/")
+    return 0
+
+
+def _add_stream(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "stream", help="streaming partition: edges arrive in stages"
+    )
+    p.add_argument("edges", help="edge-list TSV (1-based ids)")
+    p.add_argument("--truth", help="ground-truth TSV for per-stage NMI")
+    p.add_argument("--stages", type=int, default=4)
+    p.add_argument(
+        "--order", choices=["sample", "snowball"], default="sample",
+        help="arrival order (GraphChallenge streaming variants)",
+    )
+    p.add_argument("--research-interval", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--zero-based", action="store_true")
+    p.set_defaults(func=_cmd_stream)
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    from .core.streaming import StreamingGSAP
+    from .graph.streaming import edge_sample_stream, snowball_stream
+
+    graph = load_edge_list(args.edges, one_based=not args.zero_based)
+    truth = None
+    if args.truth:
+        truth = load_truth_partition(
+            args.truth, num_vertices=graph.num_vertices,
+            one_based=not args.zero_based,
+        )
+    stream_fn = (
+        edge_sample_stream if args.order == "sample" else snowball_stream
+    )
+    partitioner = StreamingGSAP(
+        SBPConfig(seed=args.seed), research_interval=args.research_interval
+    )
+    results = partitioner.partition_stream(
+        stream_fn(graph, args.stages, seed=args.seed), graph.num_vertices
+    )
+    header = f"{'stage':>5} {'edges':>9} {'blocks':>7} {'time':>8}  mode"
+    if truth is not None:
+        header += "   NMI"
+    print(header)
+    for r in results:
+        mode = "full" if r.full_search else "warm"
+        line = (
+            f"{r.stage:>5} {r.num_edges:>9} {r.num_blocks:>7} "
+            f"{r.stage_time_s:>7.1f}s  {mode}"
+        )
+        if truth is not None:
+            line += f"  {nmi(r.partition, truth):.3f}"
+        print(line)
+    return 0
+
+
+def _add_analyze(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "analyze", help="summarise a partition against a graph"
+    )
+    p.add_argument("edges", help="edge-list TSV (1-based ids)")
+    p.add_argument("partition", help="partition TSV (vertex, block)")
+    p.add_argument("--truth", help="optional second partition to compare")
+    p.add_argument("--top", type=int, default=10, help="blocks to detail")
+    p.add_argument("--zero-based", action="store_true")
+    p.set_defaults(func=_cmd_analyze)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import (
+        compare_partitions,
+        comparison_markdown,
+        summarize_partition,
+        summary_markdown,
+    )
+
+    one_based = not args.zero_based
+    graph = load_edge_list(args.edges, one_based=one_based)
+    partition = load_truth_partition(
+        args.partition, num_vertices=graph.num_vertices, one_based=one_based
+    )
+    summary = summarize_partition(graph, partition)
+    print(summary_markdown(summary, top=args.top))
+    if args.truth:
+        truth = load_truth_partition(
+            args.truth, num_vertices=graph.num_vertices, one_based=one_based
+        )
+        print("\ncomparison against the reference partition:\n")
+        print(comparison_markdown(compare_partitions(partition, truth),
+                                  top=args.top))
+    return 0
+
+
+def _add_hierarchy(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "hierarchy", help="nested (multi-scale) partitioning"
+    )
+    p.add_argument("edges", help="edge-list TSV (1-based ids)")
+    p.add_argument("--max-levels", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--zero-based", action="store_true")
+    p.add_argument("--out-prefix", help="write each level as PREFIX_levelK.tsv")
+    p.set_defaults(func=_cmd_hierarchy)
+
+
+def _cmd_hierarchy(args: argparse.Namespace) -> int:
+    from .core.hierarchy import HierarchicalGSAP
+
+    one_based = not args.zero_based
+    graph = load_edge_list(args.edges, one_based=one_based)
+    result = HierarchicalGSAP(
+        SBPConfig(seed=args.seed), max_levels=args.max_levels
+    ).partition(graph)
+    print(f"hierarchy depth: {result.depth}")
+    for level in result.levels:
+        print(
+            f"  level {level.level}: {level.num_input_nodes} nodes -> "
+            f"{level.num_blocks} blocks (MDL {level.mdl:.1f})"
+        )
+    if args.out_prefix:
+        for k in range(result.depth):
+            path = f"{args.out_prefix}_level{k}.tsv"
+            save_truth_partition(
+                result.vertex_partition(k), path, one_based=one_based
+            )
+            print(f"  wrote {path}")
+    return 0
+
+
+def _add_info(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("info", help="print the dataset registry (Table 1)")
+    p.set_defaults(func=_cmd_info)
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(table1_markdown(SIZES))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gsap",
+        description="GSAP reproduction: GPU-accelerated stochastic graph partitioning",
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_generate(sub)
+    _add_partition(sub)
+    _add_bench(sub)
+    _add_stream(sub)
+    _add_analyze(sub)
+    _add_hierarchy(sub)
+    _add_info(sub)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.verbose:
+        enable_verbose_logging()
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Golden-section search over the block count (paper §3, Fig. 2).
+
+SBP does not know the optimal block count ``B*`` in advance.  The search
+keeps three snapshots bracketing the MDL minimum —
+
+* index 0: the best partition seen with the *largest* block count,
+* index 1: the best partition overall (the incumbent),
+* index 2: the best partition with the *smallest* block count —
+
+and proceeds in two regimes, exactly as the GraphChallenge reference:
+
+1. **Exponential descent** while the minimum is not yet bracketed
+   (``snapshots[2]`` still empty): shrink the block count geometrically by
+   ``num_blocks_reduction_rate`` from the incumbent.
+2. **Bisection** once bracketed: jump to the midpoint of the wider of the
+   two intervals, always resuming from the bracketing snapshot with more
+   blocks (merging down is the only move the algorithm has).
+
+The search terminates when the bracket narrows to a single block count;
+the incumbent is then the optimal partition.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import PartitionError
+from .state import PartitionSnapshot
+
+
+@dataclass
+class GoldenSectionSearch:
+    """Bracketing search driver over (num_blocks, MDL) snapshots."""
+
+    reduction_rate: float
+    min_blocks: int = 1
+    snapshots: List[Optional[PartitionSnapshot]] = field(
+        default_factory=lambda: [None, None, None]
+    )
+    history: List[Tuple[int, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.reduction_rate < 1.0):
+            raise PartitionError(
+                f"reduction_rate must be in (0,1), got {self.reduction_rate}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def bracketed(self) -> bool:
+        """True once a partition on the low-B side of the minimum exists."""
+        return all(s is not None for s in self.snapshots)
+
+    @property
+    def best(self) -> Optional[PartitionSnapshot]:
+        return self.snapshots[1]
+
+    def update(self, snapshot: PartitionSnapshot) -> None:
+        """Insert a newly-evaluated partition into the bracket."""
+        self.history.append((snapshot.num_blocks, snapshot.mdl))
+        incumbent = self.snapshots[1]
+        if incumbent is None:
+            self.snapshots[1] = snapshot
+            return
+        if snapshot.mdl <= incumbent.mdl:
+            # new incumbent; the old one becomes a bracket endpoint
+            if incumbent.num_blocks > snapshot.num_blocks:
+                self.snapshots[0] = incumbent
+            else:
+                self.snapshots[2] = incumbent
+            self.snapshots[1] = snapshot
+        else:
+            if snapshot.num_blocks > incumbent.num_blocks:
+                # worse result on the high-B side tightens the upper end
+                old = self.snapshots[0]
+                if old is None or snapshot.num_blocks <= old.num_blocks:
+                    self.snapshots[0] = snapshot
+            else:
+                old = self.snapshots[2]
+                if old is None or snapshot.num_blocks >= old.num_blocks:
+                    self.snapshots[2] = snapshot
+
+    # ------------------------------------------------------------------
+    def done(self) -> bool:
+        """Search finished: bracket collapsed (no untried block count left)."""
+        if not self.bracketed:
+            best = self.snapshots[1]
+            return best is not None and best.num_blocks <= self.min_blocks
+        hi = self.snapshots[0].num_blocks
+        mid = self.snapshots[1].num_blocks
+        lo = self.snapshots[2].num_blocks
+        return (hi - mid <= 1) and (mid - lo <= 1)
+
+    def next_target(self) -> Tuple[int, PartitionSnapshot]:
+        """Return ``(target_num_blocks, resume_snapshot)`` for the next plateau.
+
+        The caller merges ``resume_snapshot`` down to the target block
+        count and runs the vertex-move phase there.
+        """
+        if self.done():
+            raise PartitionError("search already finished; no next target")
+        incumbent = self.snapshots[1]
+        if incumbent is None:
+            raise PartitionError("seed the search with an initial snapshot first")
+        if not self.bracketed:
+            target = max(
+                self.min_blocks,
+                int(incumbent.num_blocks * (1.0 - self.reduction_rate)),
+            )
+            if target >= incumbent.num_blocks:
+                target = incumbent.num_blocks - 1
+            return target, incumbent
+        hi, mid, lo = self.snapshots
+        # bisect the wider side, resuming from its high-B end
+        if (hi.num_blocks - mid.num_blocks) >= (mid.num_blocks - lo.num_blocks):
+            target = mid.num_blocks + (hi.num_blocks - mid.num_blocks) // 2
+            resume = hi
+        else:
+            target = lo.num_blocks + (mid.num_blocks - lo.num_blocks) // 2
+            resume = mid
+        if target >= resume.num_blocks:
+            target = resume.num_blocks - 1
+        target = max(target, self.min_blocks)
+        return target, resume
+
+    def threshold_regime(self) -> int:
+        """1 before the bracket is established, 2 after (paper Table 2)."""
+        return 2 if self.bracketed else 1

@@ -1,0 +1,187 @@
+"""GSAP: the top-level GPU-accelerated stochastic graph partitioner.
+
+:class:`GSAPPartitioner` wires the three phases together (paper Fig. 2):
+starting from the singleton partition (every vertex its own block), it
+repeatedly (1) merges blocks down to the golden-section target, (2) runs
+batched async-Gibbs vertex moves until the MDL plateaus, and (3) feeds
+the plateau into the golden-section search, stopping when the search
+brackets collapse on the optimal block count.
+
+Usage
+-----
+>>> from repro import GSAPPartitioner, load_dataset
+>>> graph, truth = load_dataset("low_low", 1_000)
+>>> result = GSAPPartitioner().partition(graph)
+>>> result.num_blocks  # doctest: +SKIP
+11
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..blockmodel.entropy import description_length
+from ..blockmodel.update import rebuild_blockmodel
+from ..config import SBPConfig
+from ..errors import PartitionError
+from ..graph.csr import DiGraphCSR
+from ..gpusim.device import Device, get_default_device
+from ..logging_util import get_logger
+from ..rng import StreamFactory
+from ..types import INDEX_DTYPE
+from .block_merge import run_block_merge_phase
+from .golden_section import GoldenSectionSearch
+from .result import PartitionResult
+from .state import PartitionSnapshot, PhaseTimings, ProposalStats
+from .vertex_move import run_vertex_move_phase
+
+logger = get_logger("gsap")
+
+
+class GSAPPartitioner:
+    """GPU-accelerated stochastic block partitioner (the paper's system).
+
+    Parameters
+    ----------
+    config:
+        SBP parameters; defaults to paper Table 2.
+    device:
+        Simulated device to execute on; defaults to the process-wide
+        A4000 model.
+    max_plateaus:
+        Safety cap on golden-section iterations (a run needs roughly
+        ``log(V)`` of them; the default is generous).
+    """
+
+    name = "GSAP"
+
+    def __init__(
+        self,
+        config: Optional[SBPConfig] = None,
+        device: Optional[Device] = None,
+        max_plateaus: int = 128,
+    ) -> None:
+        self.config = config or SBPConfig()
+        self.device = device or get_default_device()
+        self.max_plateaus = max_plateaus
+
+    # ------------------------------------------------------------------
+    def partition(self, graph: DiGraphCSR) -> PartitionResult:
+        """Run full SBP on *graph* and return the optimal partition found."""
+        if graph.num_vertices == 0:
+            return PartitionResult(
+                partition=np.empty(0, dtype=INDEX_DTYPE),
+                num_blocks=0,
+                mdl=0.0,
+                algorithm=self.name,
+            )
+        config = self.config
+        device = self.device
+        streams = StreamFactory(config.seed)
+        timings = PhaseTimings()
+        stats = ProposalStats()
+        sim_start = device.sim_time_s
+        run_start = time.perf_counter()
+
+        num_vertices = graph.num_vertices
+        total_weight = graph.total_edge_weight
+
+        # initial partition: every vertex its own block
+        bmap = np.arange(num_vertices, dtype=INDEX_DTYPE)
+        blockmodel = rebuild_blockmodel(
+            device, graph, bmap, num_vertices, "block_merge"
+        )
+        initial_mdl = description_length(blockmodel, num_vertices, total_weight)
+        search = GoldenSectionSearch(
+            reduction_rate=config.num_blocks_reduction_rate,
+            min_blocks=config.min_blocks,
+        )
+        search.update(
+            PartitionSnapshot(num_blocks=num_vertices, mdl=initial_mdl, bmap=bmap)
+        )
+
+        total_sweeps = 0
+        converged = True
+        plateaus = 0
+        while not search.done():
+            plateaus += 1
+            if plateaus > self.max_plateaus:
+                converged = False
+                logger.warning("plateau budget exhausted; returning incumbent")
+                break
+
+            t0 = time.perf_counter()
+            target, resume = search.next_target()
+            timings.golden_section_s += time.perf_counter() - t0
+
+            # resume from the chosen snapshot (may require a rebuild when
+            # jumping back to an older bracket endpoint)
+            t0 = time.perf_counter()
+            bmap = resume.bmap.copy()
+            blockmodel = rebuild_blockmodel(
+                device, graph, bmap, resume.num_blocks, "block_merge"
+            )
+            merge = run_block_merge_phase(
+                device, graph, blockmodel, bmap, target, config,
+                streams.next_in_sequence("block_merge"),
+            )
+            timings.block_merge_s += time.perf_counter() - t0
+            stats.merge_proposals += merge.num_proposals_evaluated
+            stats.merge_proposal_time_s += merge.proposal_time_s
+
+            threshold = (
+                config.delta_entropy_threshold1
+                if search.threshold_regime() == 1
+                else config.delta_entropy_threshold2
+            )
+            t0 = time.perf_counter()
+            move = run_vertex_move_phase(
+                device, graph, merge.blockmodel, merge.bmap, config,
+                streams.next_in_sequence("vertex_move"),
+                threshold, initial_mdl_scale=initial_mdl,
+            )
+            timings.vertex_move_s += time.perf_counter() - t0
+            stats.move_proposals += move.num_proposals
+            stats.move_proposal_time_s += move.proposal_time_s
+            total_sweeps += move.num_sweeps
+
+            t0 = time.perf_counter()
+            search.update(
+                PartitionSnapshot(
+                    num_blocks=merge.num_blocks, mdl=move.mdl, bmap=move.bmap
+                )
+            )
+            timings.golden_section_s += time.perf_counter() - t0
+            logger.debug(
+                "plateau %d: B=%d MDL=%.2f (%d sweeps)",
+                plateaus, merge.num_blocks, move.mdl, move.num_sweeps,
+            )
+
+        best = search.best
+        if best is None:
+            raise PartitionError("search finished without any evaluated partition")
+        return PartitionResult(
+            partition=best.bmap,
+            num_blocks=best.num_blocks,
+            mdl=best.mdl,
+            history=list(search.history),
+            timings=timings,
+            proposal_stats=stats,
+            total_time_s=time.perf_counter() - run_start,
+            sim_time_s=device.sim_time_s - sim_start,
+            num_sweeps=total_sweeps,
+            converged=converged,
+            algorithm=self.name,
+        )
+
+
+def partition_graph(
+    graph: DiGraphCSR,
+    config: Optional[SBPConfig] = None,
+    device: Optional[Device] = None,
+) -> PartitionResult:
+    """Convenience one-shot: ``GSAPPartitioner(config, device).partition(graph)``."""
+    return GSAPPartitioner(config=config, device=device).partition(graph)

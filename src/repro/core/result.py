@@ -1,0 +1,78 @@
+"""Partitioning results returned by every partitioner in the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..graph.validation import densify_partition
+from ..types import IndexArray
+from .state import PhaseTimings, ProposalStats
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of a full SBP run.
+
+    Attributes
+    ----------
+    partition:
+        Final block id per vertex (dense labels ``0..B-1``).
+    num_blocks:
+        Final block count ``B*``.
+    mdl:
+        Description length of the final partition.
+    history:
+        ``(num_blocks, mdl)`` of every evaluated plateau, in visit order —
+        the trajectory of the golden-section search.
+    timings:
+        Wall-clock per phase (Fig. 10's breakdown).
+    proposal_stats:
+        Proposal counts/time (Fig. 11's per-proposal averages).
+    total_time_s:
+        End-to-end wall-clock of the run.
+    sim_time_s:
+        Simulated device time (GSAP only; 0 for CPU baselines).
+    num_sweeps:
+        Total vertex-move MCMC sweeps executed.
+    converged:
+        False if an iteration budget stopped the run early.
+    algorithm:
+        Name of the partitioner that produced the result.
+    """
+
+    partition: IndexArray
+    num_blocks: int
+    mdl: float
+    history: List[Tuple[int, float]] = field(default_factory=list)
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    proposal_stats: ProposalStats = field(default_factory=ProposalStats)
+    total_time_s: float = 0.0
+    sim_time_s: float = 0.0
+    num_sweeps: int = 0
+    converged: bool = True
+    algorithm: str = ""
+
+    def __post_init__(self) -> None:
+        self.partition = densify_partition(np.asarray(self.partition))
+        if len(self.partition):
+            self.num_blocks = int(self.partition.max()) + 1
+
+    def summary(self) -> dict:
+        """Flat dictionary for table/CSV reporting."""
+        return {
+            "algorithm": self.algorithm,
+            "num_blocks": self.num_blocks,
+            "mdl": self.mdl,
+            "total_time_s": self.total_time_s,
+            "sim_time_s": self.sim_time_s,
+            "num_sweeps": self.num_sweeps,
+            "converged": self.converged,
+            **{f"{k}_s": v for k, v in (
+                ("block_merge", self.timings.block_merge_s),
+                ("vertex_move", self.timings.vertex_move_s),
+                ("golden_section", self.timings.golden_section_s),
+            )},
+        }

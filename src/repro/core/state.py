@@ -1,0 +1,63 @@
+"""Partition state snapshots used by the golden-section search."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..types import IndexArray
+
+
+@dataclass(frozen=True)
+class PartitionSnapshot:
+    """One evaluated partition: block count, MDL, and the Bmap achieving it."""
+
+    num_blocks: int
+    mdl: float
+    bmap: IndexArray
+
+    def copy(self) -> "PartitionSnapshot":
+        return PartitionSnapshot(
+            num_blocks=self.num_blocks, mdl=self.mdl, bmap=self.bmap.copy()
+        )
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds attributed to each SBP phase (paper Fig. 10)."""
+
+    block_merge_s: float = 0.0
+    vertex_move_s: float = 0.0
+    golden_section_s: float = 0.0
+
+    @property
+    def total_s(self) -> float:
+        return self.block_merge_s + self.vertex_move_s + self.golden_section_s
+
+    def shares(self) -> dict:
+        total = self.total_s
+        if total <= 0:
+            return {"block_merge": 0.0, "vertex_move": 0.0, "golden_section": 0.0}
+        return {
+            "block_merge": self.block_merge_s / total,
+            "vertex_move": self.vertex_move_s / total,
+            "golden_section": self.golden_section_s / total,
+        }
+
+
+@dataclass
+class ProposalStats:
+    """Counts used for per-proposal averages (paper Fig. 11)."""
+
+    merge_proposals: int = 0
+    merge_proposal_time_s: float = 0.0
+    move_proposals: int = 0
+    move_proposal_time_s: float = 0.0
+
+    def merge_avg_s(self) -> float:
+        if self.merge_proposals == 0:
+            return 0.0
+        return self.merge_proposal_time_s / self.merge_proposals
+
+    def move_avg_s(self) -> float:
+        if self.move_proposals == 0:
+            return 0.0
+        return self.move_proposal_time_s / self.move_proposals

@@ -1,0 +1,240 @@
+"""The vertex-move phase: batched asynchronous-Gibbs MCMC (paper §3).
+
+Each sweep splits the vertices into ``num_batches_for_MCMC`` batches.
+Within a batch every vertex proposes a destination block (Algorithm 1),
+its ΔMDL is evaluated against the *frozen* blockmodel (Eq. 7), and the
+Metropolis-Hastings test with Hastings correction decides acceptance; all
+accepted moves of the batch are applied together and the blockmodel is
+rebuilt on the device (Algorithm 2).  Freezing the blockmodel within a
+batch is the asynchronous-Gibbs approximation that makes the otherwise
+serial MCMC chain parallel.
+
+Sweeps stop when the moving average of the per-sweep MDL change drops
+below the configured threshold times the initial description length —
+the convergence rule shared by the reference implementation, uSAP and
+I-SBP (Table 2's ``delta_entropy_threshold*``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..blockmodel.blockmodel import BlockmodelCSR
+from ..blockmodel.delta import (
+    MoveDeltaContext,
+    move_delta_batch,
+    precompute_block_term_sums,
+)
+from ..blockmodel.entropy import description_length
+from ..blockmodel.update import rebuild_blockmodel
+from ..config import SBPConfig
+from ..gpusim.device import Device, KernelCost
+from ..graph.csr import CSRAdjacency, DiGraphCSR
+from ..types import FLOAT_DTYPE, INDEX_DTYPE, IndexArray
+from .mh import accept_moves, hastings_correction_batch
+from .proposals import combined_vertex_adjacency, propose_vertex_moves
+
+PHASE = "vertex_move"
+
+
+def gather_adjacency_rows(
+    adj: CSRAdjacency, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate adjacency rows of *rows*: ``(seg_ptr, nbr, wgt)``."""
+    lo = adj.ptr[rows]
+    lengths = adj.ptr[rows + 1] - lo
+    seg_ptr = np.concatenate(([0], np.cumsum(lengths))).astype(INDEX_DTYPE)
+    total = int(seg_ptr[-1])
+    if total == 0:
+        return seg_ptr, adj.nbr[:0].copy(), adj.wgt[:0].copy()
+    inner = np.arange(total, dtype=INDEX_DTYPE) - np.repeat(seg_ptr[:-1], lengths)
+    idx = np.repeat(lo, lengths) + inner
+    return seg_ptr, adj.nbr[idx], adj.wgt[idx]
+
+
+def _aggregate_by_block(
+    seg_ptr: np.ndarray,
+    nbr: np.ndarray,
+    wgt: np.ndarray,
+    vertices: np.ndarray,
+    bmap: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Aggregate a gathered adjacency per (mover, neighbour block).
+
+    Self-loops (neighbour == mover) are split out.  Returns
+    ``(k_ptr, k_blk, k_w, self_w, total_w)`` where ``total_w`` includes
+    self-loops (the mover's full directional degree).
+    """
+    p = len(seg_ptr) - 1
+    seg_of = np.repeat(np.arange(p, dtype=INDEX_DTYPE), seg_ptr[1:] - seg_ptr[:-1])
+    total_w = np.bincount(seg_of, weights=wgt, minlength=p)
+    self_mask = nbr == vertices[seg_of]
+    self_w = np.bincount(seg_of[self_mask], weights=wgt[self_mask], minlength=p)
+    keep = ~self_mask
+    seg_k = seg_of[keep]
+    blk = bmap[nbr[keep]]
+    w = wgt[keep].astype(FLOAT_DTYPE)
+    order = np.lexsort((blk, seg_k))
+    seg_k, blk, w = seg_k[order], blk[order], w[order]
+    if len(seg_k):
+        heads = np.empty(len(seg_k), dtype=bool)
+        heads[0] = True
+        heads[1:] = (seg_k[1:] != seg_k[:-1]) | (blk[1:] != blk[:-1])
+        starts = np.flatnonzero(heads)
+        out_seg = seg_k[starts]
+        out_blk = blk[starts]
+        out_w = np.add.reduceat(w, starts)
+    else:
+        out_seg = seg_k
+        out_blk = blk
+        out_w = w
+    counts = np.bincount(out_seg, minlength=p)
+    k_ptr = np.concatenate(([0], np.cumsum(counts))).astype(INDEX_DTYPE)
+    return k_ptr, out_blk.astype(INDEX_DTYPE), out_w, self_w, total_w
+
+
+def build_move_context(
+    device: Device,
+    graph: DiGraphCSR,
+    bmap: np.ndarray,
+    vertices: np.ndarray,
+    proposals: np.ndarray,
+    phase: str = PHASE,
+) -> MoveDeltaContext:
+    """Aggregate every mover's adjacency by block (one device pass)."""
+    vertices = np.asarray(vertices, dtype=INDEX_DTYPE)
+
+    def body() -> MoveDeltaContext:
+        out_ptr, out_nbr, out_wgt = gather_adjacency_rows(graph.out_adj, vertices)
+        kout_ptr, kout_blk, kout_w, self_w, d_out_v = _aggregate_by_block(
+            out_ptr, out_nbr, out_wgt, vertices, bmap
+        )
+        in_ptr, in_nbr, in_wgt = gather_adjacency_rows(graph.in_adj, vertices)
+        kin_ptr, kin_blk, kin_w, _self_in, d_in_v = _aggregate_by_block(
+            in_ptr, in_nbr, in_wgt, vertices, bmap
+        )
+        return MoveDeltaContext(
+            r=bmap[vertices].astype(INDEX_DTYPE),
+            s=np.asarray(proposals, dtype=INDEX_DTYPE),
+            kout_ptr=kout_ptr,
+            kout_blk=kout_blk,
+            kout_w=kout_w,
+            kin_ptr=kin_ptr,
+            kin_blk=kin_blk,
+            kin_w=kin_w,
+            self_w=self_w,
+            d_out_v=d_out_v,
+            d_in_v=d_in_v,
+        )
+
+    work = int(
+        (graph.out_adj.ptr[vertices + 1] - graph.out_adj.ptr[vertices]).sum()
+        + (graph.in_adj.ptr[vertices + 1] - graph.in_adj.ptr[vertices]).sum()
+    )
+    return device.execute(
+        "build_move_context", KernelCost(max(work, 1), 4.0), body, phase
+    )
+
+
+@dataclass(frozen=True)
+class VertexMoveOutcome:
+    """Result of one vertex-move phase (one MDL plateau)."""
+
+    bmap: IndexArray
+    blockmodel: BlockmodelCSR
+    mdl: float
+    num_sweeps: int
+    num_moves_accepted: int
+    num_proposals: int
+    proposal_time_s: float
+    converged: bool
+
+
+def run_vertex_move_phase(
+    device: Device,
+    graph: DiGraphCSR,
+    blockmodel: BlockmodelCSR,
+    bmap: IndexArray,
+    config: SBPConfig,
+    rng: np.random.Generator,
+    threshold: float,
+    initial_mdl_scale: Optional[float] = None,
+) -> VertexMoveOutcome:
+    """Run batched async-Gibbs sweeps until the MDL plateaus.
+
+    Parameters
+    ----------
+    threshold:
+        Relative convergence threshold (``delta_entropy_threshold1`` or
+        ``2`` depending on the golden-section regime).
+    initial_mdl_scale:
+        The MDL scale the threshold is relative to; defaults to the MDL
+        at phase entry.
+    """
+    bmap = np.asarray(bmap, dtype=INDEX_DTYPE).copy()
+    num_vertices = graph.num_vertices
+    total_weight = graph.total_edge_weight
+    vertex_adj = combined_vertex_adjacency(graph)
+
+    mdl = description_length(blockmodel, num_vertices, total_weight)
+    scale = abs(initial_mdl_scale if initial_mdl_scale is not None else mdl)
+    window: list[float] = []
+    accepted_total = 0
+    proposals_total = 0
+    proposal_time = 0.0
+    converged = False
+    sweeps = 0
+
+    for sweep in range(config.max_num_nodal_itr):
+        sweeps = sweep + 1
+        order = rng.permutation(num_vertices).astype(INDEX_DTYPE)
+        batches = np.array_split(order, config.num_batches_for_MCMC)
+        for batch in batches:
+            if len(batch) == 0:
+                continue
+            t0 = time.perf_counter()
+            prop = propose_vertex_moves(
+                device, graph, blockmodel, bmap, batch, rng,
+                vertex_adjacency=vertex_adj, phase=PHASE,
+            )
+            proposal_time += time.perf_counter() - t0
+            proposals_total += len(batch)
+            ctx = build_move_context(
+                device, graph, bmap, batch, prop.proposals, PHASE
+            )
+            term_sums = precompute_block_term_sums(device, blockmodel, PHASE)
+            delta = move_delta_batch(device, blockmodel, ctx, term_sums, PHASE)
+            hastings = hastings_correction_batch(device, blockmodel, ctx, PHASE)
+            accept = accept_moves(device, delta, hastings, config.beta, rng, PHASE)
+            accept &= ctx.r != ctx.s
+            if np.any(accept):
+                bmap[batch[accept]] = prop.proposals[accept]
+                accepted_total += int(accept.sum())
+                blockmodel = rebuild_blockmodel(
+                    device, graph, bmap, blockmodel.num_blocks, PHASE
+                )
+        new_mdl = description_length(blockmodel, num_vertices, total_weight)
+        window.append(mdl - new_mdl)
+        mdl = new_mdl
+        if len(window) > config.delta_entropy_moving_avg_window:
+            window.pop(0)
+        if len(window) == config.delta_entropy_moving_avg_window:
+            avg = abs(sum(window) / len(window))
+            if avg < threshold * scale:
+                converged = True
+                break
+
+    return VertexMoveOutcome(
+        bmap=bmap,
+        blockmodel=blockmodel,
+        mdl=mdl,
+        num_sweeps=sweeps,
+        num_moves_accepted=accepted_total,
+        num_proposals=proposals_total,
+        proposal_time_s=proposal_time,
+        converged=converged,
+    )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by the library derive from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """An input graph file or edge list is malformed."""
+
+
+class GraphValidationError(ReproError):
+    """A graph object violates a structural invariant (bad CSR, ids, ...)."""
+
+
+class PartitionError(ReproError):
+    """A partitioner reached an invalid internal state."""
+
+
+class ConvergenceError(PartitionError):
+    """A partitioner failed to converge within its iteration budget."""
+
+
+class DeviceError(ReproError):
+    """The simulated GPU device was used incorrectly."""
+
+
+class DeviceMemoryError(DeviceError):
+    """The simulated device ran out of (configured) memory."""
+
+
+class KernelLaunchError(DeviceError):
+    """A simulated kernel was launched with an invalid configuration."""
+
+
+class DatasetError(ReproError):
+    """A named dataset cannot be found or synthesized."""
+
+
+class ConfigError(ReproError):
+    """Invalid partitioning-parameter configuration."""

@@ -1,0 +1,87 @@
+"""Kernel-launch abstraction with CUDA-like grid/block semantics.
+
+GSAP's kernels are expressed here as *vectorized bodies*: a function of
+the flat thread-index array.  :func:`launch` computes the launch geometry
+(grid size from the logical thread count and a block size), charges the
+device cost model, and invokes the body once with ``tid = arange(n)`` —
+the data-parallel semantics of a CUDA launch without per-thread Python
+overhead.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.gpusim.device import Device, TINY_DEVICE
+>>> dev = Device(TINY_DEVICE)
+>>> out = np.zeros(8, dtype=np.int64)
+>>> def body(tid):
+...     out[tid] = tid * 2
+>>> launch(dev, "double", 8, body)
+LaunchInfo(grid_dim=1, block_dim=256, num_threads=8)
+>>> out
+array([ 0,  2,  4,  6,  8, 10, 12, 14])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import KernelLaunchError
+from .device import Device, KernelCost
+
+DEFAULT_BLOCK_DIM = 256
+MAX_GRID_DIM = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class LaunchInfo:
+    """Geometry of one kernel launch."""
+
+    grid_dim: int
+    block_dim: int
+    num_threads: int
+
+
+def launch_geometry(num_threads: int, block_dim: int = DEFAULT_BLOCK_DIM) -> LaunchInfo:
+    """Compute grid/block dimensions for a logical thread count."""
+    if num_threads < 0:
+        raise KernelLaunchError(f"num_threads must be >= 0, got {num_threads}")
+    if not (1 <= block_dim <= 1024):
+        raise KernelLaunchError(f"block_dim must be in [1, 1024], got {block_dim}")
+    grid_dim = max(1, -(-num_threads // block_dim))
+    if grid_dim > MAX_GRID_DIM:
+        raise KernelLaunchError(f"grid dimension {grid_dim} exceeds device limit")
+    return LaunchInfo(grid_dim=grid_dim, block_dim=block_dim, num_threads=num_threads)
+
+
+def launch(
+    device: Device,
+    name: str,
+    num_threads: int,
+    body: Callable[[np.ndarray], None],
+    block_dim: int = DEFAULT_BLOCK_DIM,
+    ops_per_thread: float = 1.0,
+    bytes_moved: Optional[int] = None,
+    phase: Optional[str] = None,
+) -> LaunchInfo:
+    """Launch a vectorized kernel *body* over ``num_threads`` threads.
+
+    The body receives the flat thread-id array (``np.arange(num_threads)``)
+    and performs its effect through closure state — exactly the shape of a
+    CUDA kernel reading ``blockIdx.x * blockDim.x + threadIdx.x``.
+    """
+    info = launch_geometry(num_threads, block_dim)
+    if num_threads == 0:
+        return info
+    cost = KernelCost(
+        work_items=num_threads, ops_per_item=ops_per_thread, bytes_moved=bytes_moved
+    )
+
+    def run() -> None:
+        tid = np.arange(num_threads, dtype=np.int64)
+        body(tid)
+
+    device.execute(name, cost, run, phase=phase)
+    return info

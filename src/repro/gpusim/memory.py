@@ -1,0 +1,119 @@
+"""Device memory: :class:`DeviceArray` and host<->device transfers.
+
+A :class:`DeviceArray` owns a NumPy buffer that *represents* device-resident
+data.  Creating one from host data charges an H2D transfer on the device's
+simulated clock; :meth:`DeviceArray.to_host` charges D2H.  Kernel bodies
+operate on the underlying ``.data`` buffers directly — by convention only
+code running under :meth:`Device.execute` touches them.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..errors import DeviceError
+from .device import Device, get_default_device
+
+
+class DeviceArray:
+    """An array resident in (simulated) device memory.
+
+    Notes
+    -----
+    The wrapper intentionally does **not** implement arithmetic operators:
+    device data is only manipulated through kernels and the primitives
+    library, mirroring how real GPU code is structured.
+    """
+
+    __slots__ = ("_data", "_device", "_allocation_id", "__weakref__")
+
+    def __init__(self, data: np.ndarray, device: Device, _transfer: bool = True):
+        self._data = np.ascontiguousarray(data)
+        self._device = device
+        self._allocation_id = device.allocate(self._data.nbytes)
+        if _transfer:
+            device.charge_transfer(self._data.nbytes, "h2d")
+        weakref.finalize(self, device.free, self._allocation_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The raw device buffer (kernel-side view)."""
+        return self._data
+
+    @property
+    def device(self) -> Device:
+        return self._device
+
+    @property
+    def shape(self) -> tuple:
+        return self._data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeviceArray(shape={self._data.shape}, dtype={self._data.dtype}, "
+            f"device={self._device.spec.name!r})"
+        )
+
+    # ------------------------------------------------------------------
+    def to_host(self) -> np.ndarray:
+        """Copy the array back to host memory (charges a D2H transfer)."""
+        self._device.charge_transfer(self._data.nbytes, "d2h")
+        return self._data.copy()
+
+    def copy(self) -> "DeviceArray":
+        """Device-to-device copy (no PCIe charge)."""
+        return DeviceArray(self._data.copy(), self._device, _transfer=False)
+
+    def free(self) -> None:
+        """Explicitly release the device allocation (optional)."""
+        self._device.free(self._allocation_id)
+
+
+def to_device(
+    host_data: np.ndarray | Sequence, device: Optional[Device] = None
+) -> DeviceArray:
+    """Upload host data to the device (charges H2D on the sim clock)."""
+    device = device or get_default_device()
+    return DeviceArray(np.asarray(host_data), device)
+
+
+def device_empty(
+    shape: tuple | int, dtype, device: Optional[Device] = None
+) -> DeviceArray:
+    """Allocate an uninitialised device array (no transfer charged)."""
+    device = device or get_default_device()
+    return DeviceArray(np.empty(shape, dtype=dtype), device, _transfer=False)
+
+
+def device_zeros(
+    shape: tuple | int, dtype, device: Optional[Device] = None
+) -> DeviceArray:
+    """Allocate a zero-filled device array (no transfer charged)."""
+    device = device or get_default_device()
+    return DeviceArray(np.zeros(shape, dtype=dtype), device, _transfer=False)
+
+
+def ensure_same_device(*arrays: DeviceArray) -> Device:
+    """Assert all arrays live on one device and return it."""
+    if not arrays:
+        raise DeviceError("ensure_same_device needs at least one array")
+    device = arrays[0].device
+    for arr in arrays[1:]:
+        if arr.device is not device:
+            raise DeviceError("arrays live on different devices")
+    return device

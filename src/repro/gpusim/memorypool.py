@@ -1,0 +1,141 @@
+"""Pooled device-memory allocator.
+
+Paper §4.2 attributes GSAP's small-graph overhead partly to "memory
+allocation on GPU".  Real CUDA code amortises that with a pooling
+allocator (cudaMallocAsync / RMM style); this module models one:
+freed blocks are binned by size class and reused instead of returned to
+the device, so steady-state phases allocate without touching the
+(simulated) expensive allocation path.
+
+The pool tracks hit/miss statistics so benches can quantify the saving.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import DeviceError
+from .device import Device, get_default_device
+
+#: size classes are powers of two starting here
+MIN_CLASS_BYTES = 256
+
+
+def size_class(nbytes: int) -> int:
+    """Smallest power-of-two class >= nbytes (min 256 B)."""
+    if nbytes < 0:
+        raise DeviceError(f"negative allocation size: {nbytes}")
+    cls = MIN_CLASS_BYTES
+    while cls < nbytes:
+        cls *= 2
+    return cls
+
+
+@dataclass
+class PoolStats:
+    """Counters of pool behaviour."""
+
+    allocations: int = 0
+    hits: int = 0  # served from the free list
+    misses: int = 0  # required a fresh device allocation
+    releases: int = 0
+    bytes_requested: int = 0
+    bytes_held: int = 0  # currently cached in free lists
+
+    @property
+    def hit_rate(self) -> float:
+        if self.allocations == 0:
+            return 0.0
+        return self.hits / self.allocations
+
+
+class PooledAllocation:
+    """A handle to a pooled block; return it with :meth:`release`."""
+
+    __slots__ = ("pool", "class_bytes", "requested_bytes", "_live", "_device_id")
+
+    def __init__(self, pool: "MemoryPool", class_bytes: int,
+                 requested_bytes: int, device_id: int) -> None:
+        self.pool = pool
+        self.class_bytes = class_bytes
+        self.requested_bytes = requested_bytes
+        self._live = True
+        self._device_id = device_id
+
+    @property
+    def live(self) -> bool:
+        return self._live
+
+    def release(self) -> None:
+        if self._live:
+            self._live = False
+            self.pool._return_block(self)
+
+
+class MemoryPool:
+    """Size-class pooling allocator on top of a :class:`Device`.
+
+    Parameters
+    ----------
+    device:
+        The device whose memory is pooled.
+    max_cached_bytes:
+        Cap on memory held in free lists; beyond it, released blocks are
+        returned to the device (default: an eighth of device memory).
+    """
+
+    def __init__(
+        self, device: Optional[Device] = None,
+        max_cached_bytes: Optional[int] = None,
+    ) -> None:
+        self.device = device or get_default_device()
+        self.max_cached_bytes = (
+            max_cached_bytes
+            if max_cached_bytes is not None
+            else self.device.spec.memory_bytes // 8
+        )
+        self.stats = PoolStats()
+        # free lists: size class -> list of device allocation ids
+        self._free: Dict[int, List[int]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    def allocate(self, nbytes: int) -> PooledAllocation:
+        """Allocate a block of at least *nbytes*."""
+        cls = size_class(nbytes)
+        self.stats.allocations += 1
+        self.stats.bytes_requested += nbytes
+        free_list = self._free[cls]
+        if free_list:
+            allocation_id = free_list.pop()
+            self.stats.hits += 1
+            self.stats.bytes_held -= cls
+        else:
+            allocation_id = self.device.allocate(cls)
+            self.stats.misses += 1
+        handle = PooledAllocation(self, cls, nbytes, allocation_id)
+        return handle
+
+    def _return_block(self, handle: PooledAllocation) -> None:
+        self.stats.releases += 1
+        if self.stats.bytes_held + handle.class_bytes <= self.max_cached_bytes:
+            self._free[handle.class_bytes].append(handle._device_id)
+            self.stats.bytes_held += handle.class_bytes
+        else:
+            self.device.free(handle._device_id)
+
+    def trim(self) -> int:
+        """Return all cached blocks to the device; returns bytes freed."""
+        freed = 0
+        for cls, ids in self._free.items():
+            for allocation_id in ids:
+                self.device.free(allocation_id)
+                freed += cls
+            ids.clear()
+        self.stats.bytes_held = 0
+        return freed
+
+    def cached_blocks(self) -> Dict[int, int]:
+        """``{size_class: count}`` of blocks currently cached."""
+        return {cls: len(ids) for cls, ids in self._free.items() if ids}

@@ -1,0 +1,321 @@
+"""Thrust-style data-parallel primitives on the simulated device.
+
+These are the building blocks GSAP composes its kernels from (paper
+Algorithm 2 names them directly): ``sort_by_key``, segmented sort,
+subsegment-head detection, exclusive scan, segmented reduction, and
+reduce-by-key.  Every primitive routes through :meth:`Device.execute`
+so the profiler and the simulated clock see one launch with a cost
+proportional to the data touched.
+
+All primitives take and return plain ``numpy`` arrays — device residence
+is by convention (the partitioner uploads the graph once and downloads the
+result once; everything between stays "on device").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import DeviceError
+from ..types import INDEX_DTYPE
+from .device import Device, KernelCost
+
+_LOG2_SORT_FACTOR = 20.0  # ops/item charged for a device radix/merge sort
+
+
+def _cost_linear(n: int, ops: float = 1.0, words: int = 2) -> KernelCost:
+    return KernelCost(work_items=max(n, 1), ops_per_item=ops, bytes_moved=8 * words * max(n, 1))
+
+
+def exclusive_scan(
+    device: Device, values: np.ndarray, phase: Optional[str] = None
+) -> np.ndarray:
+    """Exclusive prefix sum: ``out[i] = sum(values[:i])``, ``len = n + 1``.
+
+    Returns ``n + 1`` entries so the result can serve directly as a CSR
+    pointer array (the final entry is the total).
+    """
+    values = np.asarray(values)
+
+    def body() -> np.ndarray:
+        out = np.empty(len(values) + 1, dtype=values.dtype)
+        out[0] = 0
+        np.cumsum(values, out=out[1:])
+        return out
+
+    return device.execute("exclusive_scan", _cost_linear(len(values), 2.0), body, phase)
+
+
+def gather(
+    device: Device, source: np.ndarray, indices: np.ndarray, phase: Optional[str] = None
+) -> np.ndarray:
+    """Random-access gather ``out[i] = source[indices[i]]``."""
+    source = np.asarray(source)
+    indices = np.asarray(indices)
+    return device.execute(
+        "gather",
+        _cost_linear(len(indices), 1.0, words=3),
+        lambda: source[indices],
+        phase,
+    )
+
+
+def scatter(
+    device: Device,
+    target: np.ndarray,
+    indices: np.ndarray,
+    values: np.ndarray,
+    phase: Optional[str] = None,
+) -> None:
+    """Random-access scatter ``target[indices[i]] = values[i]`` (in place)."""
+
+    def body() -> None:
+        target[indices] = values
+
+    device.execute("scatter", _cost_linear(len(indices), 1.0, words=3), body, phase)
+
+
+def sort_by_key(
+    device: Device,
+    keys: np.ndarray,
+    values: np.ndarray,
+    phase: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stable sort of ``(keys, values)`` pairs by key (thrust::sort_by_key)."""
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+    if keys.shape != values.shape[: keys.ndim]:
+        raise DeviceError("sort_by_key: keys and values must align on axis 0")
+
+    def body() -> Tuple[np.ndarray, np.ndarray]:
+        order = np.argsort(keys, kind="stable")
+        return keys[order], values[order]
+
+    return device.execute(
+        "sort_by_key", _cost_linear(len(keys), _LOG2_SORT_FACTOR, 4), body, phase
+    )
+
+
+def argsort_by_key(
+    device: Device, keys: np.ndarray, phase: Optional[str] = None
+) -> np.ndarray:
+    """Stable argsort (returns the permutation, as CUB's sort-pairs does)."""
+    keys = np.asarray(keys)
+    return device.execute(
+        "argsort_by_key",
+        _cost_linear(len(keys), _LOG2_SORT_FACTOR, 4),
+        lambda: np.argsort(keys, kind="stable"),
+        phase,
+    )
+
+
+def segment_ids_from_ptr(
+    device: Device, seg_ptr: np.ndarray, phase: Optional[str] = None
+) -> np.ndarray:
+    """Expand a CSR pointer array into per-element segment ids."""
+    seg_ptr = np.asarray(seg_ptr)
+    lengths = seg_ptr[1:] - seg_ptr[:-1]
+    total = int(seg_ptr[-1]) if len(seg_ptr) else 0
+
+    def body() -> np.ndarray:
+        return np.repeat(
+            np.arange(len(lengths), dtype=INDEX_DTYPE), lengths
+        )
+
+    return device.execute("segment_ids", _cost_linear(total, 1.0), body, phase)
+
+
+def segmented_sort(
+    device: Device,
+    seg_ids: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    phase: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sort ``(keys, values)`` within each segment (cub segmented sort).
+
+    *seg_ids* must be non-decreasing (elements grouped by segment).
+    Returns ``(seg_ids, keys, values)`` with keys ascending per segment.
+    """
+    seg_ids = np.asarray(seg_ids)
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+
+    def body() -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        # Composite-key trick: one global stable sort on (seg, key).
+        order = np.lexsort((keys, seg_ids))
+        return seg_ids[order], keys[order], values[order]
+
+    return device.execute(
+        "segmented_sort", _cost_linear(len(keys), _LOG2_SORT_FACTOR, 6), body, phase
+    )
+
+
+def find_subsegment_heads(
+    device: Device,
+    seg_ids: np.ndarray,
+    keys: np.ndarray,
+    phase: Optional[str] = None,
+) -> np.ndarray:
+    """Flag positions starting a new (segment, key) run (paper Fig. 7 step).
+
+    Implements the warp-shuffle adjacent-compare of Algorithm 2 line 6:
+    ``head[i] = (i == 0) or seg[i] != seg[i-1] or key[i] != key[i-1]``.
+    """
+    seg_ids = np.asarray(seg_ids)
+    keys = np.asarray(keys)
+
+    def body() -> np.ndarray:
+        n = len(keys)
+        heads = np.empty(n, dtype=bool)
+        if n == 0:
+            return heads
+        heads[0] = True
+        np.not_equal(seg_ids[1:], seg_ids[:-1], out=heads[1:])
+        heads[1:] |= keys[1:] != keys[:-1]
+        return heads
+
+    return device.execute(
+        "find_subseg_heads", _cost_linear(len(keys), 2.0, 3), body, phase
+    )
+
+
+def segmented_reduce_sum(
+    device: Device,
+    values: np.ndarray,
+    seg_ptr: np.ndarray,
+    phase: Optional[str] = None,
+) -> np.ndarray:
+    """Per-segment sums over a CSR-pointed layout (empty segments → 0)."""
+    values = np.asarray(values)
+    seg_ptr = np.asarray(seg_ptr)
+
+    def body() -> np.ndarray:
+        csum = np.zeros(len(values) + 1, dtype=np.result_type(values.dtype, np.int64)
+                        if values.dtype.kind in "iu" else values.dtype)
+        np.cumsum(values, out=csum[1:])
+        return csum[seg_ptr[1:]] - csum[seg_ptr[:-1]]
+
+    return device.execute(
+        "segmented_reduce_sum", _cost_linear(len(values), 2.0), body, phase
+    )
+
+
+def reduce_by_key(
+    device: Device,
+    keys: np.ndarray,
+    values: np.ndarray,
+    phase: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compress consecutive equal keys, summing their values.
+
+    Keys must already be grouped (sorted); this is thrust::reduce_by_key.
+    Returns ``(unique_keys, sums)``.
+    """
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+
+    def body() -> Tuple[np.ndarray, np.ndarray]:
+        n = len(keys)
+        if n == 0:
+            return keys[:0].copy(), values[:0].copy()
+        heads = np.empty(n, dtype=bool)
+        heads[0] = True
+        np.not_equal(keys[1:], keys[:-1], out=heads[1:])
+        starts = np.flatnonzero(heads)
+        return keys[starts], np.add.reduceat(values, starts)
+
+    return device.execute("reduce_by_key", _cost_linear(len(keys), 3.0, 4), body, phase)
+
+
+def segmented_reduce_by_key(
+    device: Device,
+    seg_ids: np.ndarray,
+    keys: np.ndarray,
+    values: np.ndarray,
+    phase: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reduce duplicate keys *within* segments (Algorithm 2 line 8).
+
+    Inputs must be grouped by segment with keys sorted inside each segment
+    (the output of :func:`segmented_sort`).  Returns
+    ``(out_seg_ids, out_keys, out_sums)``.
+    """
+    seg_ids = np.asarray(seg_ids)
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+
+    def body() -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        n = len(keys)
+        if n == 0:
+            return seg_ids[:0].copy(), keys[:0].copy(), values[:0].copy()
+        heads = np.empty(n, dtype=bool)
+        heads[0] = True
+        np.not_equal(seg_ids[1:], seg_ids[:-1], out=heads[1:])
+        heads[1:] |= keys[1:] != keys[:-1]
+        starts = np.flatnonzero(heads)
+        return seg_ids[starts], keys[starts], np.add.reduceat(values, starts)
+
+    return device.execute(
+        "segmented_reduce_by_key", _cost_linear(len(keys), 3.0, 5), body, phase
+    )
+
+
+def segmented_argmin(
+    device: Device,
+    values: np.ndarray,
+    seg_ptr: np.ndarray,
+    phase: Optional[str] = None,
+) -> np.ndarray:
+    """Index (global) of the minimum value in each segment; -1 if empty."""
+    values = np.asarray(values)
+    seg_ptr = np.asarray(seg_ptr)
+
+    def body() -> np.ndarray:
+        num_segments = len(seg_ptr) - 1
+        out = np.full(num_segments, -1, dtype=INDEX_DTYPE)
+        lengths = seg_ptr[1:] - seg_ptr[:-1]
+        nonempty = np.flatnonzero(lengths > 0)
+        if len(nonempty) == 0:
+            return out
+        # minimum_reduceat over the start offsets of non-empty segments;
+        # to recover argmin we compare against the per-segment minimum.
+        starts = seg_ptr[:-1][nonempty]
+        mins = np.minimum.reduceat(values, starts)
+        seg_of = np.repeat(np.arange(num_segments, dtype=INDEX_DTYPE), lengths)
+        min_of_elem = np.full(num_segments, np.inf)
+        min_of_elem[nonempty] = mins
+        is_min = values == min_of_elem[seg_of]
+        # first minimal element per segment
+        idx = np.flatnonzero(is_min)
+        segs = seg_of[idx]
+        first = np.full(num_segments, -1, dtype=INDEX_DTYPE)
+        # reversed scatter keeps the *first* occurrence
+        first[segs[::-1]] = idx[::-1]
+        out[nonempty] = first[nonempty]
+        return out
+
+    return device.execute(
+        "segmented_argmin", _cost_linear(len(values), 3.0, 3), body, phase
+    )
+
+
+def bincount(
+    device: Device,
+    values: np.ndarray,
+    minlength: int,
+    weights: Optional[np.ndarray] = None,
+    phase: Optional[str] = None,
+) -> np.ndarray:
+    """Histogram with atomic-add semantics (device-side ``atomicAdd``)."""
+    values = np.asarray(values)
+
+    def body() -> np.ndarray:
+        out = np.bincount(values, weights=weights, minlength=minlength)
+        if weights is None:
+            return out.astype(INDEX_DTYPE)
+        return out
+
+    return device.execute("bincount", _cost_linear(len(values), 1.5, 3), body, phase)

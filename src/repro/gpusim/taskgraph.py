@@ -1,0 +1,176 @@
+"""CUDA-Graph-style kernel task graphs (the paper's stated future work).
+
+The paper's conclusion plans to "incorporate GPU task parallelism using
+the CUDA Graph to reduce the overhead associated with launching CUDA
+kernels for larger graphs."  This module implements that extension on
+the simulated device:
+
+* :class:`TaskGraph` records a DAG of kernel nodes (with explicit
+  dependencies, like ``cudaGraphAddKernelNode``);
+* :meth:`TaskGraph.instantiate` freezes it into an executable
+  :class:`ExecutableGraph`;
+* :meth:`ExecutableGraph.launch` replays the whole DAG under a *single*
+  launch overhead, with independent nodes overlapping on the simulated
+  timeline — the two effects a real CUDA Graph buys.
+
+The ablation bench ``bench_ablation_taskgraph.py`` quantifies the saved
+overhead against individually-launched kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..errors import DeviceError, KernelLaunchError
+from .device import Device, KernelCost
+
+
+@dataclass(frozen=True)
+class GraphNode:
+    """One kernel node in a task graph."""
+
+    node_id: int
+    name: str
+    cost: KernelCost
+    body: Callable[[], object]
+    dependencies: Tuple[int, ...]
+
+
+class TaskGraph:
+    """A recordable DAG of kernels (cudaGraph analogue)."""
+
+    def __init__(self, name: str = "taskgraph") -> None:
+        self.name = name
+        self._nodes: List[GraphNode] = []
+
+    def add_kernel(
+        self,
+        name: str,
+        cost: KernelCost,
+        body: Callable[[], object],
+        dependencies: Sequence["GraphNode"] = (),
+    ) -> GraphNode:
+        """Add a kernel node; *dependencies* must already be in this graph."""
+        for dep in dependencies:
+            if dep.node_id >= len(self._nodes) or self._nodes[dep.node_id] is not dep:
+                raise DeviceError(
+                    f"dependency {dep.name!r} does not belong to this graph"
+                )
+        node = GraphNode(
+            node_id=len(self._nodes),
+            name=name,
+            cost=cost,
+            body=body,
+            dependencies=tuple(d.node_id for d in dependencies),
+        )
+        self._nodes.append(node)
+        return node
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def instantiate(self, device: Device) -> "ExecutableGraph":
+        """Freeze into an executable graph (cudaGraphInstantiate)."""
+        if not self._nodes:
+            raise KernelLaunchError("cannot instantiate an empty task graph")
+        return ExecutableGraph(self.name, tuple(self._nodes), device)
+
+
+class ExecutableGraph:
+    """An instantiated task graph replayable with one launch overhead."""
+
+    def __init__(
+        self, name: str, nodes: Tuple[GraphNode, ...], device: Device
+    ) -> None:
+        self.name = name
+        self.nodes = nodes
+        self.device = device
+        self._order = self._topological_order()
+
+    def _topological_order(self) -> List[int]:
+        indegree = {n.node_id: len(n.dependencies) for n in self.nodes}
+        children: Dict[int, List[int]] = {n.node_id: [] for n in self.nodes}
+        for node in self.nodes:
+            for dep in node.dependencies:
+                children[dep].append(node.node_id)
+        ready = [nid for nid, deg in indegree.items() if deg == 0]
+        order: List[int] = []
+        while ready:
+            nid = ready.pop()
+            order.append(nid)
+            for child in children[nid]:
+                indegree[child] -= 1
+                if indegree[child] == 0:
+                    ready.append(child)
+        if len(order) != len(self.nodes):
+            raise DeviceError(f"task graph {self.name!r} contains a cycle")
+        return order
+
+    def launch(self) -> Dict[int, object]:
+        """Replay the DAG; returns ``{node_id: body result}``.
+
+        Cost model: one launch overhead for the whole graph; each node's
+        compute/memory time starts after its slowest dependency, so
+        independent branches overlap (the makespan is the DAG's critical
+        path, not the serial sum).
+        """
+        device = self.device
+        spec = device.spec
+        finish_at: Dict[int, float] = {}
+        results: Dict[int, object] = {}
+        import time
+
+        wall_start = time.perf_counter()
+        critical_path = 0.0
+        for nid in self._order:
+            node = self.nodes[nid]
+            results[nid] = node.body()
+            compute = (
+                node.cost.work_items * node.cost.ops_per_item
+            ) / spec.effective_ops_per_s
+            memory = node.cost.resolved_bytes() / (
+                spec.memory_bandwidth_gbps * 1e9
+            )
+            duration = max(compute, memory)
+            start = max(
+                (finish_at[dep] for dep in node.dependencies), default=0.0
+            )
+            finish_at[nid] = start + duration
+            critical_path = max(critical_path, finish_at[nid])
+        wall = time.perf_counter() - wall_start
+
+        # account the whole replay as one profiler entry + one overhead
+        sim = spec.kernel_launch_overhead_s + critical_path
+        total_work = sum(n.cost.work_items for n in self.nodes)
+        total_bytes = sum(n.cost.resolved_bytes() for n in self.nodes)
+        device._sim_time_s += sim
+        from .profiler import KernelRecord
+
+        device.profiler.record(
+            KernelRecord(
+                name=f"graph:{self.name}",
+                phase="taskgraph",
+                wall_time_s=wall,
+                sim_time_s=sim,
+                work_items=total_work,
+                bytes_moved=total_bytes,
+            )
+        )
+        return results
+
+    def serial_sim_time(self) -> float:
+        """Simulated time the same kernels would take launched one by one
+        (per-launch overhead, no overlap) — the comparison baseline."""
+        spec = self.device.spec
+        total = 0.0
+        for node in self.nodes:
+            compute = (
+                node.cost.work_items * node.cost.ops_per_item
+            ) / spec.effective_ops_per_s
+            memory = node.cost.resolved_bytes() / (
+                spec.memory_bandwidth_gbps * 1e9
+            )
+            total += spec.kernel_launch_overhead_s + max(compute, memory)
+        return total

@@ -1,0 +1,124 @@
+"""Registry of the SBPC evaluation datasets (paper Table 1).
+
+The original HPEC GraphChallenge files are not redistributable here, so
+each entry synthesizes a statistically equivalent DC-SBM graph on demand
+(see DESIGN.md §2).  Entries are addressed by category and vertex count::
+
+    graph, truth = load_dataset("high_low", 5_000)
+
+Generated graphs are cached in-process; pass ``seed`` to get independent
+samples of the same entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Iterator, Tuple
+
+from ..errors import DatasetError
+from ..types import IndexArray
+from .csr import DiGraphCSR
+from .generators import (
+    default_average_degree,
+    default_num_blocks,
+    generate_category_graph,
+)
+
+#: Category keys in paper order (easiest → hardest).
+CATEGORIES: Tuple[str, ...] = ("low_low", "low_high", "high_low", "high_high")
+
+#: Vertex counts of Table 1.
+SIZES: Tuple[int, ...] = (1_000, 5_000, 20_000, 50_000, 200_000, 1_000_000)
+
+#: Human-readable category labels as printed in the paper.
+CATEGORY_LABELS: Dict[str, str] = {
+    "low_low": "Low-Low",
+    "low_high": "Low-High",
+    "high_low": "High-Low",
+    "high_high": "High-High",
+}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of paper Table 1."""
+
+    category: str
+    num_vertices: int
+
+    def __post_init__(self) -> None:
+        if self.category not in CATEGORIES:
+            raise DatasetError(
+                f"unknown category {self.category!r}; choose from {CATEGORIES}"
+            )
+        if self.num_vertices < 2:
+            raise DatasetError(f"num_vertices must be >= 2, got {self.num_vertices}")
+
+    @property
+    def overlap(self) -> str:
+        return self.category.split("_")[0]
+
+    @property
+    def size_variation(self) -> str:
+        return self.category.split("_")[1]
+
+    @property
+    def num_blocks(self) -> int:
+        """Planted block count (Table 1's B column for table sizes)."""
+        return default_num_blocks(self.num_vertices)
+
+    @property
+    def expected_num_edges(self) -> int:
+        """Approximate |E| implied by Table 1's average degree."""
+        return round(default_average_degree(self.num_vertices) * self.num_vertices)
+
+    @property
+    def label(self) -> str:
+        return f"{CATEGORY_LABELS[self.category]} {self.num_vertices:,}V"
+
+
+def iter_specs(
+    sizes: Tuple[int, ...] = SIZES, categories: Tuple[str, ...] = CATEGORIES
+) -> Iterator[DatasetSpec]:
+    """Iterate Table 1 entries, category-major."""
+    for category in categories:
+        for size in sizes:
+            yield DatasetSpec(category=category, num_vertices=size)
+
+
+def normalize_category(name: str) -> str:
+    """Accept 'Low-High', 'low_high', 'LOW high' etc.; return canonical key."""
+    key = name.strip().lower().replace("-", "_").replace(" ", "_")
+    if key not in CATEGORIES:
+        raise DatasetError(f"unknown category {name!r}; choose from {CATEGORIES}")
+    return key
+
+
+@lru_cache(maxsize=16)
+def _load_cached(
+    category: str, num_vertices: int, seed: int
+) -> Tuple[DiGraphCSR, IndexArray]:
+    spec = DatasetSpec(category=category, num_vertices=num_vertices)
+    return generate_category_graph(
+        num_vertices=spec.num_vertices,
+        overlap=spec.overlap,
+        size_variation=spec.size_variation,
+        seed=seed,
+    )
+
+
+def load_dataset(
+    category: str, num_vertices: int, seed: int = 0
+) -> Tuple[DiGraphCSR, IndexArray]:
+    """Synthesize (and cache) the SBPC dataset entry.
+
+    Returns ``(graph, truth)``; *truth* is the planted partition used for
+    NMI evaluation (paper Table 4).
+    """
+    return _load_cached(normalize_category(category), int(num_vertices), int(seed))
+
+
+def clear_dataset_cache() -> None:
+    """Drop all cached synthesized datasets (frees memory in sweeps)."""
+    _load_cached.cache_clear()

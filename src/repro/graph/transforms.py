@@ -1,0 +1,123 @@
+"""Graph transformations used around partitioning pipelines.
+
+Real-world inputs rarely arrive as clean SBPC files: they need
+symmetrization, component extraction, or relabelling before SBP is
+meaningful.  All transforms return new graphs (inputs are never mutated)
+and, where vertex ids change, also return the id mapping so partitions
+can be projected back.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import GraphValidationError
+from ..types import INDEX_DTYPE, IndexArray
+from .builder import build_graph
+from .csr import DiGraphCSR
+
+
+def reverse(graph: DiGraphCSR) -> DiGraphCSR:
+    """Reverse every edge (the transpose graph)."""
+    src, dst, wgt = graph.edge_arrays()
+    return build_graph(dst, src, wgt, num_vertices=graph.num_vertices)
+
+
+def symmetrize(graph: DiGraphCSR) -> DiGraphCSR:
+    """Add the reverse of every edge (weights add where both exist)."""
+    src, dst, wgt = graph.edge_arrays()
+    return build_graph(
+        np.concatenate([src, dst]),
+        np.concatenate([dst, src]),
+        np.concatenate([wgt, wgt]),
+        num_vertices=graph.num_vertices,
+    )
+
+
+def remove_self_loops(graph: DiGraphCSR) -> DiGraphCSR:
+    """Drop all self-loop edges."""
+    src, dst, wgt = graph.edge_arrays()
+    keep = src != dst
+    return build_graph(
+        src[keep], dst[keep], wgt[keep], num_vertices=graph.num_vertices
+    )
+
+
+def induced_subgraph(
+    graph: DiGraphCSR, vertices: IndexArray
+) -> Tuple[DiGraphCSR, IndexArray]:
+    """Subgraph induced by *vertices* (edges with both endpoints kept).
+
+    Returns ``(subgraph, kept)`` where subgraph vertex ``i`` corresponds
+    to original vertex ``kept[i]`` (sorted, deduplicated).
+    """
+    kept = np.unique(np.asarray(vertices, dtype=INDEX_DTYPE))
+    if len(kept) and (kept[0] < 0 or kept[-1] >= graph.num_vertices):
+        raise GraphValidationError("subgraph vertices out of range")
+    inverse = np.full(graph.num_vertices, -1, dtype=INDEX_DTYPE)
+    inverse[kept] = np.arange(len(kept), dtype=INDEX_DTYPE)
+    src, dst, wgt = graph.edge_arrays()
+    keep = (inverse[src] >= 0) & (inverse[dst] >= 0)
+    sub = build_graph(
+        inverse[src[keep]], inverse[dst[keep]], wgt[keep],
+        num_vertices=len(kept),
+    )
+    return sub, kept
+
+
+def largest_weakly_connected_component(
+    graph: DiGraphCSR,
+) -> Tuple[DiGraphCSR, IndexArray]:
+    """Restrict to the largest weakly-connected component.
+
+    Returns ``(subgraph, kept)`` as in :func:`induced_subgraph`.  A graph
+    with no edges returns its (arbitrary) first vertex.
+    """
+    import scipy.sparse as sp
+    from scipy.sparse.csgraph import connected_components
+
+    n = graph.num_vertices
+    if n == 0:
+        return graph, np.empty(0, dtype=INDEX_DTYPE)
+    src, dst, _ = graph.edge_arrays()
+    adj = sp.csr_matrix(
+        (np.ones(len(src), dtype=np.int8), (src, dst)), shape=(n, n)
+    )
+    _, labels = connected_components(adj, directed=True, connection="weak")
+    sizes = np.bincount(labels)
+    keep_label = int(np.argmax(sizes))
+    return induced_subgraph(graph, np.flatnonzero(labels == keep_label))
+
+
+def permute_vertices(
+    graph: DiGraphCSR, permutation: IndexArray
+) -> DiGraphCSR:
+    """Relabel vertex ``v`` as ``permutation[v]`` (must be a bijection)."""
+    permutation = np.asarray(permutation, dtype=INDEX_DTYPE)
+    n = graph.num_vertices
+    if len(permutation) != n or not np.array_equal(
+        np.sort(permutation), np.arange(n)
+    ):
+        raise GraphValidationError("permutation must be a bijection on [0, n)")
+    src, dst, wgt = graph.edge_arrays()
+    return build_graph(
+        permutation[src], permutation[dst], wgt, num_vertices=n
+    )
+
+
+def project_partition(
+    partition: IndexArray, kept: IndexArray, num_vertices: int, fill: int = -1
+) -> IndexArray:
+    """Lift a subgraph partition back to the original vertex space.
+
+    Vertices outside *kept* receive *fill* (default ``-1`` = unassigned).
+    """
+    partition = np.asarray(partition, dtype=INDEX_DTYPE)
+    kept = np.asarray(kept, dtype=INDEX_DTYPE)
+    if len(partition) != len(kept):
+        raise GraphValidationError("partition and kept must align")
+    out = np.full(num_vertices, fill, dtype=INDEX_DTYPE)
+    out[kept] = partition
+    return out

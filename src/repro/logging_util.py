@@ -1,0 +1,43 @@
+"""Logging helpers.
+
+The library logs under the ``repro`` namespace and never configures the
+root logger; applications opt in via :func:`enable_verbose_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+LOGGER_NAME = "repro"
+
+
+def get_logger(suffix: str | None = None) -> logging.Logger:
+    """Return the library logger, optionally a dotted child."""
+    name = LOGGER_NAME if suffix is None else f"{LOGGER_NAME}.{suffix}"
+    return logging.getLogger(name)
+
+
+def enable_verbose_logging(level: int = logging.INFO) -> None:
+    """Attach a stderr handler to the library logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        logger.addHandler(handler)
+
+
+@contextmanager
+def log_duration(logger: logging.Logger, label: str) -> Iterator[None]:
+    """Log the wall-clock duration of the enclosed block at DEBUG level."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        logger.debug("%s took %.3fs", label, time.perf_counter() - start)

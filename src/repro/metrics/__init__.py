@@ -1,0 +1,18 @@
+"""Partition-quality metrics: NMI (Table 4), ARI, pairwise P/R."""
+
+from .ari import ari
+from .nmi import contingency_table, entropy_of_counts, mutual_information, nmi
+from .pairwise import PairwiseScores, pairwise_scores
+from .vmeasure import VMeasureScores, v_measure
+
+__all__ = [
+    "ari",
+    "contingency_table",
+    "entropy_of_counts",
+    "mutual_information",
+    "nmi",
+    "PairwiseScores",
+    "pairwise_scores",
+    "VMeasureScores",
+    "v_measure",
+]

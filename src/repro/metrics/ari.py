@@ -1,0 +1,34 @@
+"""Adjusted Rand index — a secondary partition-quality metric."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import FLOAT_DTYPE
+from .nmi import contingency_table
+
+
+def _comb2(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=FLOAT_DTYPE)
+    return x * (x - 1.0) / 2.0
+
+
+def ari(a: np.ndarray, b: np.ndarray) -> float:
+    """Adjusted Rand index in [-1, 1]; 1 = identical up to relabelling.
+
+    Degenerate inputs where both partitions are constant (all pairs
+    agree trivially) return 1.
+    """
+    table = contingency_table(a, b).astype(FLOAT_DTYPE)
+    n = table.sum()
+    if n < 2:
+        return 1.0
+    sum_ij = _comb2(table).sum()
+    sum_a = _comb2(table.sum(axis=1)).sum()
+    sum_b = _comb2(table.sum(axis=0)).sum()
+    total = _comb2(np.array([n]))[0]
+    expected = sum_a * sum_b / total
+    maximum = (sum_a + sum_b) / 2.0
+    if maximum == expected:
+        return 1.0
+    return float((sum_ij - expected) / (maximum - expected))

@@ -1,0 +1,50 @@
+"""Pairwise precision/recall of co-membership decisions.
+
+Treating every vertex pair as a binary decision ("same block?") yields
+precision and recall of a computed partition against the truth — the
+companion metrics the GraphChallenge scoreboard reports next to NMI.
+Computed in closed form from the contingency table (no O(V²) pair loop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import FLOAT_DTYPE
+from .nmi import contingency_table
+
+
+@dataclass(frozen=True)
+class PairwiseScores:
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def pairwise_scores(predicted: np.ndarray, truth: np.ndarray) -> PairwiseScores:
+    """Pairwise precision/recall of *predicted* against *truth*.
+
+    ``precision`` = of pairs the prediction groups together, the fraction
+    the truth also groups together; ``recall`` = of pairs the truth groups
+    together, the fraction the prediction recovers.
+    """
+    table = contingency_table(predicted, truth).astype(FLOAT_DTYPE)
+    if table.size == 0:
+        return PairwiseScores(precision=0.0, recall=0.0)
+
+    def comb2(x: np.ndarray) -> np.ndarray:
+        return x * (x - 1.0) / 2.0
+
+    same_both = comb2(table).sum()
+    same_pred = comb2(table.sum(axis=1)).sum()
+    same_truth = comb2(table.sum(axis=0)).sum()
+    precision = float(same_both / same_pred) if same_pred > 0 else 1.0
+    recall = float(same_both / same_truth) if same_truth > 0 else 1.0
+    return PairwiseScores(precision=precision, recall=recall)

@@ -1,0 +1,72 @@
+"""Homogeneity, completeness, and V-measure.
+
+Conditional-entropy-based partition diagnostics: *homogeneity* penalises
+blocks mixing several truth communities, *completeness* penalises truth
+communities split over several blocks, and the V-measure is their
+harmonic mean.  Together with pairwise precision/recall they explain the
+direction of an NMI loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..types import FLOAT_DTYPE
+from .nmi import contingency_table, entropy_of_counts
+
+
+@dataclass(frozen=True)
+class VMeasureScores:
+    homogeneity: float
+    completeness: float
+
+    @property
+    def v_measure(self) -> float:
+        if self.homogeneity + self.completeness == 0:
+            return 0.0
+        return (
+            2 * self.homogeneity * self.completeness
+            / (self.homogeneity + self.completeness)
+        )
+
+
+def _conditional_entropy(table: np.ndarray) -> float:
+    """H(columns | rows) in nats."""
+    table = np.asarray(table, dtype=FLOAT_DTYPE)
+    n = table.sum()
+    if n <= 0:
+        return 0.0
+    row_sums = table.sum(axis=1, keepdims=True)
+    mask = table > 0
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(mask, table / row_sums, 1.0)
+    return float(-(table[mask] / n * np.log(ratio[mask])).sum())
+
+
+def v_measure(predicted: np.ndarray, truth: np.ndarray) -> VMeasureScores:
+    """Homogeneity/completeness of *predicted* against *truth*.
+
+    Degenerate cases follow scikit-learn's conventions: a constant truth
+    (or prediction) makes the corresponding score 1 by definition.
+    """
+    table = contingency_table(predicted, truth)
+    if table.size == 0:
+        return VMeasureScores(homogeneity=1.0, completeness=1.0)
+    h_truth = entropy_of_counts(table.sum(axis=0))
+    h_pred = entropy_of_counts(table.sum(axis=1))
+    # homogeneity: 1 - H(truth | predicted) / H(truth)
+    if h_truth == 0.0:
+        homogeneity = 1.0
+    else:
+        homogeneity = 1.0 - _conditional_entropy(table) / h_truth
+    # completeness: 1 - H(predicted | truth) / H(predicted)
+    if h_pred == 0.0:
+        completeness = 1.0
+    else:
+        completeness = 1.0 - _conditional_entropy(table.T) / h_pred
+    return VMeasureScores(
+        homogeneity=float(min(1.0, max(0.0, homogeneity))),
+        completeness=float(min(1.0, max(0.0, completeness))),
+    )

@@ -1,0 +1,68 @@
+"""Deterministic random-stream management.
+
+Every stochastic component of the library draws from a named child stream
+of one master seed, so a full partitioning run is reproducible bit-for-bit
+given ``SBPConfig.seed``.  Streams are derived with
+:func:`numpy.random.SeedSequence.spawn`-style key hashing rather than ad-hoc
+``seed + i`` arithmetic, which avoids correlated streams.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterator
+
+import numpy as np
+
+
+def derive_seed(master_seed: int, *names: object) -> int:
+    """Derive a child seed from *master_seed* and a path of names.
+
+    The derivation is stable across processes and Python versions (it uses
+    CRC32 of the repr path, not ``hash()``).
+    """
+    key = "/".join(str(n) for n in names).encode("utf-8")
+    return (int(master_seed) * 0x9E3779B1 + zlib.crc32(key)) % (2**63 - 1)
+
+
+def make_rng(master_seed: int, *names: object) -> np.random.Generator:
+    """Create a :class:`numpy.random.Generator` for the named stream."""
+    return np.random.default_rng(derive_seed(master_seed, *names))
+
+
+class StreamFactory:
+    """Factory handing out independent named RNG streams.
+
+    Examples
+    --------
+    >>> streams = StreamFactory(42)
+    >>> rng_a = streams.get("block_merge", 0)
+    >>> rng_b = streams.get("vertex_move", 0)
+    >>> rng_a is not rng_b
+    True
+    """
+
+    def __init__(self, master_seed: int) -> None:
+        self.master_seed = int(master_seed)
+        self._counters: dict[str, int] = {}
+
+    def get(self, *names: object) -> np.random.Generator:
+        """Return a generator for the exact stream path *names*."""
+        return make_rng(self.master_seed, *names)
+
+    def next_in_sequence(self, name: str) -> np.random.Generator:
+        """Return the next generator in the auto-incrementing *name* series.
+
+        Useful for per-iteration streams where the caller does not want to
+        thread an iteration counter through every call site.
+        """
+        index = self._counters.get(name, 0)
+        self._counters[name] = index + 1
+        return make_rng(self.master_seed, name, index)
+
+    def sequence(self, name: str) -> Iterator[np.random.Generator]:
+        """Yield an endless sequence of generators for *name*."""
+        index = 0
+        while True:
+            yield make_rng(self.master_seed, name, index)
+            index += 1

@@ -1,0 +1,86 @@
+"""Tests for the simulated-distributed EDiSt baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.edist import MOVE_RECORD_BYTES, CommStats, EDiStPartitioner
+from repro.config import SBPConfig
+from repro.errors import PartitionError
+from repro.graph.datasets import load_dataset
+from repro.metrics import nmi
+
+
+@pytest.fixture(scope="module")
+def bench_graph():
+    return load_dataset("low_low", 120, seed=2)
+
+
+@pytest.fixture
+def quick_config():
+    return SBPConfig(
+        max_num_nodal_itr=10,
+        delta_entropy_threshold1=5e-3,
+        delta_entropy_threshold2=1e-3,
+        seed=3,
+    )
+
+
+class TestCommStats:
+    def test_alltoall_accounting(self):
+        comm = CommStats()
+        comm.record_alltoall(4, [100, 0, 50, 25])
+        assert comm.rounds == 1
+        assert comm.messages == 4 * 3
+        assert comm.bytes_sent == (100 + 0 + 50 + 25) * 3
+
+    def test_single_rank_sends_nothing(self):
+        comm = CommStats()
+        comm.record_alltoall(1, [500])
+        assert comm.messages == 0
+        assert comm.bytes_sent == 0
+
+
+class TestEDiSt:
+    def test_full_run_quality(self, bench_graph, quick_config):
+        graph, truth = bench_graph
+        partitioner = EDiStPartitioner(quick_config, num_ranks=4)
+        result = partitioner.partition(graph)
+        assert result.algorithm == "EDiSt"
+        assert nmi(result.partition, truth) > 0.6
+
+    def test_communication_recorded(self, bench_graph, quick_config):
+        graph, _ = bench_graph
+        partitioner = EDiStPartitioner(quick_config, num_ranks=4)
+        partitioner.partition(graph)
+        assert partitioner.comm.rounds > 0
+        assert partitioner.comm.bytes_sent > 0
+        assert partitioner.comm.bytes_sent % MOVE_RECORD_BYTES == 0
+
+    def test_comm_grows_with_ranks(self, bench_graph, quick_config):
+        """The paper's noted bottleneck: all-to-all volume grows with
+        node count for the same workload."""
+        graph, _ = bench_graph
+        volumes = []
+        for ranks in (2, 8):
+            p = EDiStPartitioner(quick_config, num_ranks=ranks)
+            p.partition(graph)
+            volumes.append(p.comm.bytes_sent)
+        assert volumes[1] > volumes[0]
+
+    def test_single_rank_degenerates_to_serial(self, bench_graph, quick_config):
+        graph, truth = bench_graph
+        p = EDiStPartitioner(quick_config, num_ranks=1)
+        result = p.partition(graph)
+        assert p.comm.bytes_sent == 0
+        assert nmi(result.partition, truth) > 0.6
+
+    def test_shards_cover_all_vertices(self, quick_config):
+        p = EDiStPartitioner(quick_config, num_ranks=3)
+        shards = p._shards(10)
+        assert len(shards) == 3
+        combined = np.concatenate(shards)
+        np.testing.assert_array_equal(np.sort(combined), np.arange(10))
+
+    def test_bad_rank_count(self, quick_config):
+        with pytest.raises(PartitionError):
+            EDiStPartitioner(quick_config, num_ranks=0)

@@ -1,0 +1,107 @@
+"""Tests for the Faster-SBP-like and H-SBP-like baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    FasterSBPPartitioner,
+    HSBPPartitioner,
+    aggressive_initial_merge,
+)
+from repro.config import SBPConfig
+from repro.graph.builder import build_graph
+from repro.graph.datasets import load_dataset
+from repro.metrics import nmi
+
+
+@pytest.fixture(scope="module")
+def bench_graph():
+    return load_dataset("low_low", 120, seed=2)
+
+
+@pytest.fixture
+def quick_config():
+    return SBPConfig(
+        max_num_nodal_itr=10,
+        delta_entropy_threshold1=5e-3,
+        delta_entropy_threshold2=1e-3,
+        seed=3,
+    )
+
+
+class TestAggressiveInitialMerge:
+    def test_reaches_target(self, bench_graph, rng):
+        graph, _ = bench_graph
+        labels = aggressive_initial_merge(graph, 10, rng)
+        assert len(np.unique(labels)) <= 12  # near target (propagation noise)
+        assert labels.min() == 0
+        assert labels.max() == len(np.unique(labels)) - 1
+
+    def test_respects_community_structure(self, bench_graph, rng):
+        """The unscored merge should still roughly follow communities."""
+        graph, truth = bench_graph
+        labels = aggressive_initial_merge(graph, int(truth.max()) + 1, rng)
+        assert nmi(labels, truth) > 0.5
+
+    def test_target_above_n_is_identity(self, rng):
+        graph = build_graph([0, 1], [1, 0], num_vertices=3)
+        labels = aggressive_initial_merge(graph, 10, rng)
+        np.testing.assert_array_equal(labels, [0, 1, 2])
+
+    def test_empty_graph(self, rng):
+        graph = build_graph([], [], num_vertices=0)
+        labels = aggressive_initial_merge(graph, 1, rng)
+        assert len(labels) == 0
+
+
+class TestFasterSBP:
+    def test_full_run(self, bench_graph, quick_config):
+        graph, truth = bench_graph
+        result = FasterSBPPartitioner(quick_config).partition(graph)
+        assert result.algorithm == "Faster-SBP"
+        assert nmi(result.partition, truth) > 0.6
+
+    def test_starts_below_singletons(self, bench_graph, quick_config):
+        graph, _ = bench_graph
+        result = FasterSBPPartitioner(
+            quick_config, initial_reduction_factor=4
+        ).partition(graph)
+        # the first history entry is the aggressive-merge block count
+        assert result.history[0][0] <= graph.num_vertices // 3
+
+    def test_bad_factor(self, quick_config):
+        with pytest.raises(ValueError):
+            FasterSBPPartitioner(quick_config, initial_reduction_factor=1)
+
+
+class TestHSBP:
+    def test_full_run(self, bench_graph, quick_config):
+        graph, truth = bench_graph
+        result = HSBPPartitioner(quick_config).partition(graph)
+        assert result.algorithm == "H-SBP"
+        assert nmi(result.partition, truth) > 0.6
+
+    def test_all_serial_limit(self, bench_graph, quick_config):
+        """influential_fraction=1 degenerates to the serial reference."""
+        graph, truth = bench_graph
+        result = HSBPPartitioner(
+            quick_config, influential_fraction=1.0
+        ).partition(graph)
+        assert nmi(result.partition, truth) > 0.6
+
+    def test_all_parallel_limit(self, bench_graph, quick_config):
+        graph, truth = bench_graph
+        result = HSBPPartitioner(
+            quick_config, influential_fraction=0.0
+        ).partition(graph)
+        assert len(result.partition) == graph.num_vertices
+
+    def test_bad_fraction(self, quick_config):
+        with pytest.raises(ValueError):
+            HSBPPartitioner(quick_config, influential_fraction=1.5)
+
+    def test_deterministic(self, bench_graph, quick_config):
+        graph, _ = bench_graph
+        r1 = HSBPPartitioner(quick_config).partition(graph)
+        r2 = HSBPPartitioner(quick_config).partition(graph)
+        np.testing.assert_array_equal(r1.partition, r2.partition)

@@ -1,0 +1,188 @@
+"""Tests for the benchmark harness, tables, and figures."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import ALGORITHMS, BenchHarness, make_partitioner
+from repro.bench.figures import (
+    fig8_markdown,
+    fig8_series,
+    fig9_markdown,
+    fig9_series,
+    fig10_markdown,
+    fig11_markdown,
+    fig12_markdown,
+)
+from repro.bench.tables import (
+    table1_markdown,
+    table3_markdown,
+    table4_markdown,
+    to_csv,
+)
+from repro.bench.workloads import (
+    WorkloadSpec,
+    bench_config,
+    bench_scale,
+    full_matrix,
+)
+from repro.config import SBPConfig
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def mini_harness():
+    """A harness with two small cells actually executed (expensive-ish)."""
+    config = SBPConfig(
+        max_num_nodal_itr=5,
+        delta_entropy_threshold1=1e-2,
+        delta_entropy_threshold2=5e-3,
+        seed=0,
+    )
+    harness = BenchHarness(config)
+    harness.run_cell(WorkloadSpec("low_low", 120, "GSAP"))
+    harness.run_cell(WorkloadSpec("low_low", 120, "uSAP"))
+    return harness
+
+
+class TestWorkloads:
+    def test_scale_default_quick(self, monkeypatch):
+        monkeypatch.delenv("GSAP_BENCH_SCALE", raising=False)
+        assert bench_scale() == "quick"
+
+    def test_scale_env_override(self, monkeypatch):
+        monkeypatch.setenv("GSAP_BENCH_SCALE", "paper")
+        assert bench_scale() == "paper"
+
+    def test_scale_garbage_falls_back(self, monkeypatch):
+        monkeypatch.setenv("GSAP_BENCH_SCALE", "huge")
+        assert bench_scale() == "quick"
+
+    def test_quick_config_is_reduced(self, monkeypatch):
+        monkeypatch.delenv("GSAP_BENCH_SCALE", raising=False)
+        cfg = bench_config()
+        assert cfg.max_num_nodal_itr < SBPConfig().max_num_nodal_itr
+
+    def test_paper_config_is_table2(self, monkeypatch):
+        monkeypatch.setenv("GSAP_BENCH_SCALE", "paper")
+        assert bench_config() == SBPConfig()
+
+    def test_full_matrix_structure(self, monkeypatch):
+        monkeypatch.delenv("GSAP_BENCH_SCALE", raising=False)
+        cells = full_matrix(("uSAP", "GSAP"))
+        keys = {c.key for c in cells}
+        assert len(keys) == len(cells)
+        # every category appears; GSAP-only sizes present
+        assert any("high_high" in k for k in keys)
+        gsap_only = [c for c in cells if c.num_vertices >= 1000]
+        assert all(c.algorithm == "GSAP" for c in gsap_only)
+
+
+class TestMakePartitioner:
+    @pytest.mark.parametrize("name", ["GSAP", "uSAP", "I-SBP", "reference"])
+    def test_known_algorithms(self, name):
+        p = make_partitioner(name, SBPConfig())
+        assert hasattr(p, "partition")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError):
+            make_partitioner("magic", SBPConfig())
+
+
+class TestHarness:
+    def test_cells_cached(self, mini_harness):
+        spec = WorkloadSpec("low_low", 120, "GSAP")
+        a = mini_harness.run_cell(spec)
+        b = mini_harness.run_cell(spec)
+        assert a is b
+
+    def test_cell_rows_complete(self, mini_harness):
+        row = mini_harness.cells()[0].row()
+        for field in ("algorithm", "runtime_s", "nmi", "num_blocks", "mdl"):
+            assert field in row
+
+    def test_speedup(self, mini_harness):
+        speedup = mini_harness.speedup_over("uSAP", "low_low", 120)
+        assert speedup is not None and speedup > 0
+
+    def test_speedup_missing_cell(self, mini_harness):
+        assert mini_harness.speedup_over("I-SBP", "low_low", 120) is None
+
+    def test_runtime_series_sorted(self, mini_harness):
+        series = mini_harness.runtime_series("GSAP", "low_low")
+        assert series == sorted(series)
+        assert len(series) == 1
+
+    def test_breakdown(self, mini_harness):
+        shares = mini_harness.breakdown("GSAP", "low_low", 120)
+        assert set(shares) == {"block_merge", "vertex_move", "golden_section"}
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_proposal_averages(self, mini_harness):
+        merge_avg, move_avg = mini_harness.proposal_averages(
+            "GSAP", "low_low", 120
+        )
+        assert merge_avg > 0 and move_avg > 0
+
+
+class TestTables:
+    def test_table1(self):
+        text = table1_markdown((1_000, 5_000))
+        assert "Low-Low" in text and "High-High" in text
+        assert "| 1,000 |" in text
+
+    def test_table3(self, mini_harness):
+        text = table3_markdown(mini_harness.cells(), (120,))
+        assert "Low-Low GSAP" in text
+        assert " - |" in text  # unfilled cells render as dashes
+
+    def test_table3_sim_clock(self, mini_harness):
+        wall = table3_markdown(mini_harness.cells(), (120,), clock="wall")
+        sim = table3_markdown(mini_harness.cells(), (120,), clock="sim")
+        assert wall != sim
+
+    def test_table4(self, mini_harness):
+        text = table4_markdown(mini_harness.cells(), (120,))
+        assert "0." in text or "1.00" in text
+
+    def test_csv(self, mini_harness):
+        csv_text = to_csv(mini_harness.cells())
+        lines = csv_text.strip().splitlines()
+        assert len(lines) == len(mini_harness.cells()) + 1
+        assert lines[0].startswith("algorithm,")
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+
+class TestFigures:
+    def test_fig8(self, mini_harness):
+        series = fig8_series(mini_harness, (120,))
+        assert set(series) == {"uSAP", "I-SBP"}
+        text = fig8_markdown(mini_harness, (120,))
+        assert "speedup" in text
+        assert "x" in text
+
+    def test_fig9(self, mini_harness):
+        series = fig9_series(mini_harness)
+        assert "GSAP" in series
+        text = fig9_markdown(mini_harness)
+        assert "Low-Low" in text
+
+    def test_fig10(self, mini_harness):
+        text = fig10_markdown(mini_harness, "low_low", 120)
+        assert "vertex-move" in text
+        assert "%" in text
+
+    def test_fig10_missing_cells_render_dashes(self, mini_harness):
+        text = fig10_markdown(mini_harness, "high_high", 120)
+        assert "| I-SBP | - | - | - |" in text
+
+    def test_fig11(self, mini_harness):
+        text = fig11_markdown(mini_harness, "low_low", 120)
+        assert "µs" in text
+
+    def test_fig12(self):
+        rows = [(1000, 8000, 0.01, 0.5), (5000, 50000, 0.02, 2.0)]
+        text = fig12_markdown(rows)
+        assert "50.0x" in text
+        assert "100.0x" in text

@@ -1,0 +1,84 @@
+"""Tests for the scaling-law projection module."""
+
+import numpy as np
+import pytest
+
+from repro.bench.projection import (
+    GSAPProjection,
+    MeasuredPoint,
+    PowerLawFit,
+    fit_power_law,
+    measure_scaling,
+    projection_markdown,
+)
+from repro.config import SBPConfig
+from repro.errors import ReproError
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law_recovered(self):
+        xs = np.array([1.0, 10.0, 100.0, 1000.0])
+        ys = 3.5 * xs**1.7
+        fit = fit_power_law(xs, ys)
+        assert fit.coefficient == pytest.approx(3.5, rel=1e-9)
+        assert fit.exponent == pytest.approx(1.7, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_prediction(self):
+        fit = PowerLawFit(coefficient=2.0, exponent=1.0, r_squared=1.0)
+        assert fit.predict(5.0) == pytest.approx(10.0)
+
+    def test_noisy_fit_r2_below_one(self):
+        rng = np.random.default_rng(0)
+        xs = np.linspace(1, 100, 20)
+        ys = xs**1.2 * np.exp(rng.normal(0, 0.2, 20))
+        fit = fit_power_law(xs, ys)
+        assert 0.5 < fit.r_squared < 1.0
+        assert 0.9 < fit.exponent < 1.5
+
+    def test_too_few_points(self):
+        with pytest.raises(ReproError):
+            fit_power_law([1.0], [2.0])
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ReproError):
+            fit_power_law([1.0, 0.0], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            fit_power_law([1.0, 2.0], [-1.0, 2.0])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ReproError):
+            fit_power_law([1.0, 2.0, 3.0], [1.0, 2.0])
+
+
+class TestProjection:
+    @pytest.fixture(scope="class")
+    def projection(self):
+        config = SBPConfig(
+            max_num_nodal_itr=8,
+            delta_entropy_threshold1=1e-2,
+            delta_entropy_threshold2=5e-3,
+            seed=0,
+        )
+        return measure_scaling("low_low", (200, 400, 800), config=config)
+
+    def test_points_measured(self, projection):
+        assert len(projection.points) == 3
+        assert all(p.sim_time_s > 0 for p in projection.points)
+        assert all(p.num_launches > 0 for p in projection.points)
+
+    def test_work_component_positive(self, projection):
+        assert all(p.work_time_s > 0 for p in projection.points)
+        for p in projection.points:
+            assert p.work_time_s <= p.sim_time_s
+
+    def test_prediction_grows_with_size(self, projection):
+        small = projection.predict_sim_time(1_000)
+        large = projection.predict_sim_time(1_000_000)
+        assert 0 < small < large
+
+    def test_markdown(self, projection):
+        text = projection_markdown(projection, target_sizes=(10_000,))
+        assert "measured" in text
+        assert "projected" in text
+        assert "10,000" in text

@@ -1,0 +1,72 @@
+"""Tests for the consolidated report builder."""
+
+import pytest
+
+from repro.bench.harness import BenchHarness
+from repro.bench.report import ReportOptions, build_report, write_report_artifacts
+from repro.bench.workloads import WorkloadSpec
+from repro.config import SBPConfig
+
+
+@pytest.fixture(scope="module")
+def harness():
+    config = SBPConfig(
+        max_num_nodal_itr=5,
+        delta_entropy_threshold1=1e-2,
+        delta_entropy_threshold2=5e-3,
+        seed=0,
+    )
+    h = BenchHarness(config)
+    h.run_cell(WorkloadSpec("low_low", 120, "GSAP"))
+    h.run_cell(WorkloadSpec("low_low", 120, "uSAP"))
+    return h
+
+
+@pytest.fixture(autouse=True)
+def small_sizes(monkeypatch):
+    import repro.bench.report as report
+
+    monkeypatch.setattr(report, "matrix_sizes", lambda: (120,))
+    monkeypatch.setattr(report, "gsap_only_sizes", lambda: ())
+
+
+class TestBuildReport:
+    def test_full_report_sections(self, harness):
+        text = build_report(harness)
+        assert "Table 3 — runtime (wall clock)" in text
+        assert "simulated A4000 clock" in text
+        assert "Table 4" in text
+        assert "Figure 8" in text
+        assert "Figure 9" in text
+
+    def test_tables_only(self, harness):
+        text = build_report(
+            harness, ReportOptions(include_figures=False)
+        )
+        assert "Table 3" in text
+        assert "Figure 8" not in text
+
+    def test_figures_only(self, harness):
+        text = build_report(
+            harness, ReportOptions(include_tables=False)
+        )
+        assert "Table 3" not in text
+        assert "Figure 9" in text
+
+    def test_probe_overrides(self, harness):
+        text = build_report(
+            harness,
+            ReportOptions(breakdown_category="low_low", probe_size=120),
+        )
+        assert "Low-Low, 120" in text
+
+
+class TestArtifacts:
+    def test_files_written(self, harness, tmp_path):
+        report_path, csv_path = write_report_artifacts(harness, tmp_path / "o")
+        from pathlib import Path
+
+        assert Path(report_path).exists()
+        assert Path(csv_path).exists()
+        assert "Table 3" in Path(report_path).read_text()
+        assert "GSAP" in Path(csv_path).read_text()

@@ -1,0 +1,133 @@
+"""Tests for the mutable dense blockmodel (CPU baseline substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import graphs_with_partitions
+from repro.blockmodel.dense import DenseBlockmodel
+from repro.errors import GraphValidationError, PartitionError
+from repro.graph.builder import build_graph
+
+
+@pytest.fixture
+def model():
+    return DenseBlockmodel(
+        np.array([[3, 0, 5], [2, 0, 1], [0, 4, 2]], dtype=np.int64)
+    )
+
+
+class TestConstruction:
+    def test_degrees(self, model):
+        np.testing.assert_array_equal(model.deg_out, [8, 3, 6])
+        np.testing.assert_array_equal(model.deg_in, [5, 4, 8])
+
+    def test_from_graph(self, tiny_graph):
+        bmap = np.array([0, 1, 0, 1])
+        model = DenseBlockmodel.from_graph(tiny_graph, bmap)
+        # block 0 = {0, 2}, block 1 = {1, 3}
+        # intra-0: 0->0 (3) + 0->2 (5) = 8; 0->1: 2->1 (4)
+        # 1->0: 1->0 (2) + 3->2 (2) = 4; intra-1: 1->3 (1)
+        expected = np.array([[8, 4], [4, 1]])
+        np.testing.assert_array_equal(model.matrix, expected)
+
+    def test_from_graph_explicit_blocks(self, tiny_graph):
+        model = DenseBlockmodel.from_graph(tiny_graph, np.zeros(4, dtype=np.int64), 3)
+        assert model.num_blocks == 3
+        assert model.matrix[0, 0] == tiny_graph.total_edge_weight
+
+    def test_from_graph_wrong_length(self, tiny_graph):
+        with pytest.raises(PartitionError):
+            DenseBlockmodel.from_graph(tiny_graph, np.array([0, 1]))
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(GraphValidationError):
+            DenseBlockmodel(np.array([[-1]]))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GraphValidationError):
+            DenseBlockmodel(np.zeros((2, 3)))
+
+
+class TestMerge:
+    def test_merge_totals_preserved(self, model):
+        total = model.total_weight
+        model.apply_merge(0, 1)
+        assert model.total_weight == total
+        assert model.matrix[0, :].sum() == 0
+        assert model.matrix[:, 0].sum() == 0
+
+    def test_merge_moves_self_connectivity(self, model):
+        # after merging 0 into 1: M[1,1] = M00+M01+M10+M11 = 3+0+2+0 = 5
+        model.apply_merge(0, 1)
+        assert model.matrix[1, 1] == 5
+
+    def test_merge_into_self_rejected(self, model):
+        with pytest.raises(PartitionError):
+            model.apply_merge(1, 1)
+
+    def test_degrees_refresh(self, model):
+        model.apply_merge(0, 1)
+        model.validate()
+
+
+class TestMove:
+    def test_move_matches_from_graph(self, tiny_graph):
+        """Incremental apply_move equals a fresh aggregation."""
+        bmap = np.array([0, 1, 0, 1])
+        model = DenseBlockmodel.from_graph(tiny_graph, bmap)
+        # move vertex 2 from block 0 to block 1
+        v = 2
+        onbr, ow = tiny_graph.out_neighbors(v)
+        inbr, iw = tiny_graph.in_neighbors(v)
+        self_w = int(ow[onbr == v].sum())
+        ko, ki = onbr != v, inbr != v
+        model.apply_move(
+            0, 1,
+            bmap[onbr[ko]], ow[ko], bmap[inbr[ki]], iw[ki], self_w,
+        )
+        bmap2 = bmap.copy()
+        bmap2[v] = 1
+        expected = DenseBlockmodel.from_graph(tiny_graph, bmap2)
+        np.testing.assert_array_equal(model.matrix, expected.matrix)
+
+    def test_move_to_same_block_noop(self, model):
+        before = model.matrix.copy()
+        model.apply_move(0, 0, np.array([1]), np.array([1]),
+                         np.array([], dtype=np.int64),
+                         np.array([], dtype=np.int64), 0)
+        np.testing.assert_array_equal(model.matrix, before)
+
+    def test_invalid_move_detected(self, model):
+        """Removing more weight than exists must raise."""
+        with pytest.raises(PartitionError):
+            model.apply_move(
+                0, 1, np.array([1]), np.array([100]),
+                np.array([], dtype=np.int64), np.array([], dtype=np.int64), 0,
+            )
+
+
+class TestCompact:
+    def test_compact_drops_empty(self, model):
+        model.apply_merge(0, 1)
+        compacted, remap = model.compact(np.array([1, 2]))
+        assert compacted.num_blocks == 2
+        assert remap[0] == -1
+        assert compacted.total_weight == model.total_weight
+
+    def test_compact_refuses_dropping_weight(self, model):
+        with pytest.raises(PartitionError):
+            model.compact(np.array([0, 1]))  # block 2 still has edges
+
+
+@settings(max_examples=40, deadline=None)
+@given(graphs_with_partitions())
+def test_random_single_merges_preserve_weight(data):
+    graph, bmap, b = data
+    model = DenseBlockmodel.from_graph(graph, bmap, b)
+    if b < 2:
+        return
+    total = model.total_weight
+    model.apply_merge(0, b - 1)
+    assert model.total_weight == total
+    model.validate()

@@ -1,0 +1,107 @@
+"""Tests for SBPConfig (paper Table 2 parameters)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import PAPER_TABLE2, SBPConfig
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_table2_values(self):
+        cfg = SBPConfig()
+        assert cfg.num_blocks_reduction_rate == 0.4
+        assert cfg.num_proposals == 10
+        assert cfg.max_num_nodal_itr == 100
+        assert cfg.delta_entropy_threshold1 == 5e-4
+        assert cfg.delta_entropy_threshold2 == 1e-4
+        assert cfg.delta_entropy_moving_avg_window == 3
+        assert cfg.num_batches_for_MCMC == 4
+
+    def test_paper_defaults_constructor(self):
+        assert SBPConfig.paper_defaults() == SBPConfig()
+
+    def test_module_level_alias(self):
+        assert PAPER_TABLE2 == SBPConfig()
+
+    def test_frozen(self):
+        cfg = SBPConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.num_proposals = 5  # type: ignore[misc]
+
+
+class TestValidation:
+    @pytest.mark.parametrize("rate", [0.0, 1.0, -0.1, 1.5])
+    def test_bad_reduction_rate(self, rate):
+        with pytest.raises(ConfigError):
+            SBPConfig(num_blocks_reduction_rate=rate)
+
+    @pytest.mark.parametrize("n", [0, -1])
+    def test_bad_num_proposals(self, n):
+        with pytest.raises(ConfigError):
+            SBPConfig(num_proposals=n)
+
+    def test_bad_max_nodal_itr(self):
+        with pytest.raises(ConfigError):
+            SBPConfig(max_num_nodal_itr=0)
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -1e-4, float("nan")])
+    def test_bad_threshold1(self, value):
+        with pytest.raises(ConfigError):
+            SBPConfig(delta_entropy_threshold1=value)
+
+    @pytest.mark.parametrize("value", [0.0, 2.0])
+    def test_bad_threshold2(self, value):
+        with pytest.raises(ConfigError):
+            SBPConfig(delta_entropy_threshold2=value)
+
+    def test_bad_window(self):
+        with pytest.raises(ConfigError):
+            SBPConfig(delta_entropy_moving_avg_window=0)
+
+    def test_bad_batches(self):
+        with pytest.raises(ConfigError):
+            SBPConfig(num_batches_for_MCMC=0)
+
+    @pytest.mark.parametrize("beta", [0.0, -3.0, float("inf")])
+    def test_bad_beta(self, beta):
+        with pytest.raises(ConfigError):
+            SBPConfig(beta=beta)
+
+    def test_bad_min_blocks(self):
+        with pytest.raises(ConfigError):
+            SBPConfig(min_blocks=0)
+
+    def test_bad_seed(self):
+        with pytest.raises(ConfigError):
+            SBPConfig(seed=-1)
+
+
+class TestHelpers:
+    def test_replace_returns_new_validated_config(self):
+        cfg = SBPConfig().replace(num_proposals=3)
+        assert cfg.num_proposals == 3
+        assert cfg.max_num_nodal_itr == 100
+
+    def test_replace_validates(self):
+        with pytest.raises(ConfigError):
+            SBPConfig().replace(num_proposals=0)
+
+    def test_to_dict_round_trips(self):
+        cfg = SBPConfig(seed=99)
+        assert SBPConfig(**cfg.to_dict()) == cfg
+
+    def test_to_dict_has_all_fields(self):
+        d = SBPConfig().to_dict()
+        assert set(d) >= {
+            "num_blocks_reduction_rate",
+            "num_proposals",
+            "max_num_nodal_itr",
+            "delta_entropy_threshold1",
+            "delta_entropy_threshold2",
+            "delta_entropy_moving_avg_window",
+            "num_batches_for_MCMC",
+            "beta",
+            "seed",
+        }

@@ -1,0 +1,153 @@
+"""Tests for the golden-section search over block counts."""
+
+import numpy as np
+import pytest
+
+from repro.core.golden_section import GoldenSectionSearch
+from repro.core.state import PartitionSnapshot
+from repro.errors import PartitionError
+
+
+def snap(b, mdl):
+    return PartitionSnapshot(num_blocks=b, mdl=mdl, bmap=np.zeros(4, dtype=np.int64))
+
+
+class TestBracketing:
+    def test_initial_state(self):
+        search = GoldenSectionSearch(0.5)
+        assert not search.bracketed
+        assert search.best is None
+        assert not search.done()
+
+    def test_descent_targets_shrink_geometrically(self):
+        search = GoldenSectionSearch(0.4)
+        search.update(snap(100, 1000.0))
+        target, resume = search.next_target()
+        assert target == 60
+        assert resume.num_blocks == 100
+
+    def test_improvements_move_incumbent(self):
+        search = GoldenSectionSearch(0.5)
+        search.update(snap(100, 1000.0))
+        search.update(snap(50, 900.0))
+        assert search.best.num_blocks == 50
+        assert search.snapshots[0].num_blocks == 100
+        assert not search.bracketed
+
+    def test_worse_low_b_result_establishes_bracket(self):
+        search = GoldenSectionSearch(0.5)
+        search.update(snap(100, 1000.0))
+        search.update(snap(50, 900.0))
+        search.update(snap(25, 950.0))
+        assert search.bracketed
+        assert search.snapshots[2].num_blocks == 25
+        assert search.best.num_blocks == 50
+
+    def test_bisection_after_bracket(self):
+        search = GoldenSectionSearch(0.5)
+        search.update(snap(100, 1000.0))
+        search.update(snap(50, 900.0))
+        search.update(snap(25, 950.0))
+        target, resume = search.next_target()
+        # wider side is (100, 50): bisect it, resuming from 100
+        assert target == 75
+        assert resume.num_blocks == 100
+
+    def test_bisection_narrow_side(self):
+        search = GoldenSectionSearch(0.5)
+        search.update(snap(100, 1000.0))
+        search.update(snap(90, 900.0))
+        search.update(snap(40, 950.0))
+        target, resume = search.next_target()
+        # wider side is (90, 40): target between them, resume from 90
+        assert 40 < target < 90
+        assert resume.num_blocks == 90
+
+    def test_done_when_bracket_collapses(self):
+        search = GoldenSectionSearch(0.5)
+        search.update(snap(5, 100.0))
+        search.update(snap(4, 90.0))
+        search.update(snap(3, 95.0))
+        assert search.done()
+        assert search.best.num_blocks == 4
+
+    def test_not_done_with_gap(self):
+        search = GoldenSectionSearch(0.5)
+        search.update(snap(10, 100.0))
+        search.update(snap(5, 90.0))
+        search.update(snap(3, 95.0))
+        assert not search.done()
+
+    def test_min_blocks_floor(self):
+        search = GoldenSectionSearch(0.5, min_blocks=4)
+        search.update(snap(5, 100.0))
+        target, _ = search.next_target()
+        assert target == 4
+
+    def test_descent_reaching_min_blocks_is_done(self):
+        search = GoldenSectionSearch(0.9, min_blocks=1)
+        search.update(snap(1, 10.0))
+        assert search.done()
+
+    def test_next_target_after_done_raises(self):
+        search = GoldenSectionSearch(0.5)
+        search.update(snap(1, 10.0))
+        with pytest.raises(PartitionError):
+            search.next_target()
+
+    def test_next_target_without_seed_raises(self):
+        search = GoldenSectionSearch(0.5)
+        with pytest.raises(PartitionError):
+            search.next_target()
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(PartitionError):
+            GoldenSectionSearch(0.0)
+
+
+class TestRegimes:
+    def test_threshold_regime_switch(self):
+        search = GoldenSectionSearch(0.5)
+        search.update(snap(100, 1000.0))
+        assert search.threshold_regime() == 1
+        search.update(snap(50, 900.0))
+        search.update(snap(25, 950.0))
+        assert search.threshold_regime() == 2
+
+    def test_history_records_all_updates(self):
+        search = GoldenSectionSearch(0.5)
+        for b, s in ((100, 1000.0), (50, 900.0), (25, 950.0)):
+            search.update(snap(b, s))
+        assert search.history == [(100, 1000.0), (50, 900.0), (25, 950.0)]
+
+
+class TestConvergenceScenario:
+    def test_full_parabola_search_finds_minimum(self):
+        """Simulated MDL parabola with minimum at B=17: the search must
+        converge to exactly 17."""
+        def mdl(b):
+            return (b - 17) ** 2 + 100.0
+
+        search = GoldenSectionSearch(0.4, min_blocks=1)
+        b0 = 128
+        search.update(snap(b0, mdl(b0)))
+        for _ in range(100):
+            if search.done():
+                break
+            target, _resume = search.next_target()
+            search.update(snap(target, mdl(target)))
+        assert search.done()
+        assert search.best.num_blocks == 17
+
+    def test_monotone_mdl_converges_to_floor(self):
+        """If fewer blocks is always better, converge to min_blocks."""
+        search = GoldenSectionSearch(0.4, min_blocks=2)
+        b = 64
+        search.update(snap(b, float(b)))
+        for _ in range(60):
+            if search.done():
+                break
+            target, _ = search.next_target()
+            search.update(snap(target, float(target)))
+        assert search.done()
+        assert search.best.num_blocks == 2

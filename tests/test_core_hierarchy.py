@@ -1,0 +1,121 @@
+"""Tests for hierarchical (nested) partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.config import SBPConfig
+from repro.core.hierarchy import HierarchicalGSAP, HierarchyResult
+from repro.errors import PartitionError
+from repro.graph.builder import build_graph
+from repro.metrics import nmi
+
+
+def clique_of_cliques():
+    """12 cliques of 6 vertices, grouped into 3 super-communities of 4
+    cliques each: a genuinely two-level structure."""
+    rng = np.random.default_rng(0)
+    src, dst = [], []
+    num_cliques, clique_size = 12, 8
+    n = num_cliques * clique_size
+    # dense intra-clique edges
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(clique_size):
+                if i != j:
+                    src.append(base + i)
+                    dst.append(base + j)
+    # sparse intra-supergroup edges between sibling cliques
+    for super_id in range(3):
+        members = range(super_id * 4, super_id * 4 + 4)
+        for a in members:
+            for b in members:
+                if a == b:
+                    continue
+                for _ in range(2):
+                    src.append(a * clique_size + int(rng.integers(clique_size)))
+                    dst.append(b * clique_size + int(rng.integers(clique_size)))
+    graph = build_graph(src, dst, num_vertices=n)
+    fine_truth = np.repeat(np.arange(num_cliques), clique_size)
+    coarse_truth = np.repeat(np.arange(3), 4 * clique_size)
+    return graph, fine_truth, coarse_truth
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    graph, fine, coarse = clique_of_cliques()
+    config = SBPConfig(
+        max_num_nodal_itr=20,
+        delta_entropy_threshold1=2e-3,
+        delta_entropy_threshold2=5e-4,
+        seed=1,
+    )
+    result = HierarchicalGSAP(config, min_top_blocks=2).partition(graph)
+    return graph, fine, coarse, result
+
+
+class TestHierarchy:
+    def test_multiple_levels(self, hierarchy):
+        *_, result = hierarchy
+        assert result.depth >= 2
+
+    def test_block_counts_decrease(self, hierarchy):
+        *_, result = hierarchy
+        counts = result.block_counts()
+        assert counts == sorted(counts, reverse=True)
+
+    def test_level0_recovers_cliques(self, hierarchy):
+        _, fine, _, result = hierarchy
+        assert nmi(result.vertex_partition(0), fine) > 0.9
+
+    def test_upper_level_recovers_supergroups(self, hierarchy):
+        _, fine, coarse, result = hierarchy
+        coarse_scores = [
+            nmi(result.vertex_partition(k), coarse)
+            for k in range(1, result.depth)
+        ]
+        fine_scores = [
+            nmi(result.vertex_partition(k), fine)
+            for k in range(1, result.depth)
+        ]
+        # upper levels align with the super-structure, not the cliques
+        assert max(coarse_scores) > 0.65
+        best = int(np.argmax(coarse_scores))
+        assert coarse_scores[best] > fine_scores[best]
+
+    def test_projection_consistency(self, hierarchy):
+        """Vertices sharing a level-k block share all higher-level blocks."""
+        *_, result = hierarchy
+        for k in range(result.depth - 1):
+            low = result.vertex_partition(k)
+            high = result.vertex_partition(k + 1)
+            for block in np.unique(low):
+                members = high[low == block]
+                assert len(np.unique(members)) == 1
+
+    def test_base_result_stored(self, hierarchy):
+        *_, result = hierarchy
+        assert result.base_result is not None
+        assert result.base_result.num_blocks == result.levels[0].num_blocks
+
+    def test_level_out_of_range(self, hierarchy):
+        *_, result = hierarchy
+        with pytest.raises(PartitionError):
+            result.vertex_partition(result.depth)
+
+
+class TestConfig:
+    def test_bad_max_levels(self):
+        with pytest.raises(PartitionError):
+            HierarchicalGSAP(max_levels=0)
+
+    def test_bad_min_top_blocks(self):
+        with pytest.raises(PartitionError):
+            HierarchicalGSAP(min_top_blocks=0)
+
+    def test_max_levels_respected(self, fast_config):
+        graph, *_ = clique_of_cliques()
+        result = HierarchicalGSAP(
+            fast_config, max_levels=1
+        ).partition(graph)
+        assert result.depth == 1

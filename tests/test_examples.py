@@ -1,0 +1,84 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the public face of the library; each is executed in a
+subprocess (its own interpreter, like a user would) with a generous
+timeout.  The slow comparison example gets a reduced problem size via
+its CLI argument.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, (
+        f"{name} failed:\nstdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    return result.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "compare_algorithms.py",
+        "graphchallenge_pipeline.py",
+        "community_detection.py",
+        "streaming_partition.py",
+        "hierarchical_communities.py",
+    } <= names
+
+
+@pytest.mark.slow
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "GSAP found" in out
+    assert "NMI vs ground truth" in out
+    assert "golden-section trajectory" in out
+
+
+@pytest.mark.slow
+def test_compare_algorithms_small():
+    out = run_example("compare_algorithms.py", "150")
+    assert "uSAP" in out and "I-SBP" in out and "GSAP" in out
+    assert "GSAP speedup over" in out
+
+
+@pytest.mark.slow
+def test_graphchallenge_pipeline(tmp_path):
+    out = run_example("graphchallenge_pipeline.py", str(tmp_path))
+    assert "Low-Low" in out and "High-High" in out
+    # the pipeline writes answer files
+    assert list(tmp_path.glob("*_answer.tsv"))
+
+
+@pytest.mark.slow
+def test_community_detection():
+    out = run_example("community_detection.py")
+    assert "planted social network" in out
+    assert "caveman" in out
+
+
+@pytest.mark.slow
+def test_streaming_partition():
+    out = run_example("streaming_partition.py")
+    assert "full search" in out
+    assert "warm refine" in out
+
+
+@pytest.mark.slow
+def test_hierarchical_communities():
+    out = run_example("hierarchical_communities.py")
+    assert "hierarchy depth" in out
+    assert "level 0" in out

@@ -1,0 +1,102 @@
+"""Tests for DeviceArray and transfers."""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim.device import A4000, TINY_DEVICE, Device
+from repro.gpusim.memory import (
+    DeviceArray,
+    device_empty,
+    device_zeros,
+    ensure_same_device,
+    to_device,
+)
+
+
+class TestDeviceArray:
+    def test_upload_charges_h2d(self, device):
+        before = device.profiler.total_transferred_bytes()
+        arr = to_device(np.arange(100), device)
+        assert device.profiler.total_transferred_bytes() - before == arr.nbytes
+        assert device.profiler.transfer_records[-1].direction == "h2d"
+
+    def test_to_host_charges_d2h(self, device):
+        arr = to_device(np.arange(10), device)
+        host = arr.to_host()
+        np.testing.assert_array_equal(host, np.arange(10))
+        assert device.profiler.transfer_records[-1].direction == "d2h"
+
+    def test_to_host_returns_copy(self, device):
+        arr = to_device(np.arange(5), device)
+        host = arr.to_host()
+        host[0] = 99
+        assert arr.data[0] == 0
+
+    def test_memory_accounting(self, device):
+        before = device.allocated_bytes
+        arr = to_device(np.zeros(1000, dtype=np.float64), device)
+        assert device.allocated_bytes - before == 8000
+        arr.free()
+        assert device.allocated_bytes == before
+
+    def test_gc_releases_memory(self):
+        dev = Device(A4000)
+        arr = to_device(np.zeros(1000), dev)
+        nbytes = arr.nbytes
+        assert dev.allocated_bytes == nbytes
+        del arr
+        gc.collect()
+        assert dev.allocated_bytes == 0
+
+    def test_copy_is_device_side(self, device):
+        arr = to_device(np.arange(4), device)
+        transfers = len(device.profiler.transfer_records)
+        dup = arr.copy()
+        assert len(device.profiler.transfer_records) == transfers  # no PCIe
+        dup.data[0] = 7
+        assert arr.data[0] == 0
+
+    def test_metadata(self, device):
+        arr = to_device(np.zeros((3, 4), dtype=np.int32), device)
+        assert arr.shape == (3, 4)
+        assert arr.dtype == np.int32
+        assert len(arr) == 3
+
+
+class TestAllocators:
+    def test_device_empty_no_transfer(self, device):
+        n = len(device.profiler.transfer_records)
+        arr = device_empty(16, np.int64, device)
+        assert arr.shape == (16,)
+        assert len(device.profiler.transfer_records) == n
+
+    def test_device_zeros(self, device):
+        arr = device_zeros(8, np.float64, device)
+        np.testing.assert_array_equal(arr.data, np.zeros(8))
+
+    def test_oom_via_array(self):
+        dev = Device(TINY_DEVICE)
+        from repro.errors import DeviceMemoryError
+        with pytest.raises(DeviceMemoryError):
+            to_device(np.zeros(TINY_DEVICE.memory_bytes), dev)
+
+
+class TestEnsureSameDevice:
+    def test_same(self, device):
+        a = to_device(np.arange(2), device)
+        b = to_device(np.arange(2), device)
+        assert ensure_same_device(a, b) is device
+
+    def test_different(self, device):
+        other = Device(TINY_DEVICE)
+        a = to_device(np.arange(2), device)
+        b = to_device(np.arange(2), other)
+        with pytest.raises(DeviceError):
+            ensure_same_device(a, b)
+
+    def test_empty_args(self):
+        with pytest.raises(DeviceError):
+            ensure_same_device()

@@ -1,0 +1,99 @@
+"""Tests for the pooled device allocator."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim.device import TINY_DEVICE, A4000, Device
+from repro.gpusim.memorypool import MemoryPool, size_class
+
+
+class TestSizeClass:
+    def test_minimum(self):
+        assert size_class(0) == 256
+        assert size_class(1) == 256
+        assert size_class(256) == 256
+
+    def test_rounds_up_to_power_of_two(self):
+        assert size_class(257) == 512
+        assert size_class(1000) == 1024
+        assert size_class(1024) == 1024
+
+    def test_negative_rejected(self):
+        with pytest.raises(DeviceError):
+            size_class(-1)
+
+
+class TestPool:
+    def test_first_allocation_misses(self, device):
+        pool = MemoryPool(device)
+        handle = pool.allocate(100)
+        assert pool.stats.misses == 1
+        assert pool.stats.hits == 0
+        assert handle.live
+
+    def test_release_then_reuse_hits(self, device):
+        pool = MemoryPool(device)
+        a = pool.allocate(100)
+        a.release()
+        assert not a.live
+        b = pool.allocate(120)  # same 256-byte class
+        assert pool.stats.hits == 1
+        assert pool.stats.hit_rate == 0.5
+
+    def test_different_class_misses(self, device):
+        pool = MemoryPool(device)
+        a = pool.allocate(100)
+        a.release()
+        pool.allocate(10_000)  # different class
+        assert pool.stats.hits == 0
+        assert pool.stats.misses == 2
+
+    def test_double_release_is_idempotent(self, device):
+        pool = MemoryPool(device)
+        a = pool.allocate(10)
+        a.release()
+        a.release()
+        assert pool.stats.releases == 1
+
+    def test_device_memory_stable_under_churn(self, device):
+        """Steady-state alloc/release must not grow device usage."""
+        pool = MemoryPool(device)
+        first = pool.allocate(1_000)
+        first.release()
+        baseline = device.allocated_bytes
+        for _ in range(100):
+            h = pool.allocate(1_000)
+            h.release()
+        assert device.allocated_bytes == baseline
+        assert pool.stats.hit_rate > 0.98
+
+    def test_cache_cap_respected(self):
+        device = Device(A4000)
+        pool = MemoryPool(device, max_cached_bytes=1024)
+        handles = [pool.allocate(1024) for _ in range(4)]
+        for h in handles:
+            h.release()
+        # only one 1 KiB block fits the cache; the rest went back
+        assert pool.stats.bytes_held <= 1024
+        assert sum(pool.cached_blocks().values()) == 1
+
+    def test_trim_returns_everything(self, device):
+        pool = MemoryPool(device)
+        before = device.allocated_bytes
+        a = pool.allocate(5000)
+        b = pool.allocate(300)
+        a.release()
+        b.release()
+        freed = pool.trim()
+        assert freed > 0
+        assert device.allocated_bytes == before
+        assert pool.cached_blocks() == {}
+        assert pool.stats.bytes_held == 0
+
+    def test_oom_propagates(self):
+        device = Device(TINY_DEVICE)
+        pool = MemoryPool(device)
+        from repro.errors import DeviceMemoryError
+
+        with pytest.raises(DeviceMemoryError):
+            pool.allocate(TINY_DEVICE.memory_bytes * 2)

@@ -1,0 +1,253 @@
+"""Tests for the data-parallel primitives, incl. hypothesis oracles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import primitives as prim
+from repro.gpusim.device import A4000, Device
+
+
+@pytest.fixture
+def dev():
+    return Device(A4000)
+
+
+# ----------------------------------------------------------------------
+# exclusive scan
+# ----------------------------------------------------------------------
+class TestExclusiveScan:
+    def test_basic(self, dev):
+        out = prim.exclusive_scan(dev, np.array([3, 1, 4]))
+        np.testing.assert_array_equal(out, [0, 3, 4, 8])
+
+    def test_empty(self, dev):
+        out = prim.exclusive_scan(dev, np.array([], dtype=np.int64))
+        np.testing.assert_array_equal(out, [0])
+
+    def test_usable_as_csr_ptr(self, dev):
+        counts = np.array([2, 0, 1])
+        ptr = prim.exclusive_scan(dev, counts)
+        assert ptr[-1] == counts.sum()
+        np.testing.assert_array_equal(ptr[1:] - ptr[:-1], counts)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 100), max_size=50))
+def test_exclusive_scan_matches_numpy(values):
+    dev = Device(A4000)
+    out = prim.exclusive_scan(dev, np.array(values, dtype=np.int64))
+    expected = np.concatenate(([0], np.cumsum(values))) if values else [0]
+    np.testing.assert_array_equal(out, expected)
+
+
+# ----------------------------------------------------------------------
+# gather / scatter
+# ----------------------------------------------------------------------
+class TestGatherScatter:
+    def test_gather(self, dev):
+        out = prim.gather(dev, np.array([10, 20, 30]), np.array([2, 0, 2]))
+        np.testing.assert_array_equal(out, [30, 10, 30])
+
+    def test_scatter(self, dev):
+        target = np.zeros(4, dtype=np.int64)
+        prim.scatter(dev, target, np.array([1, 3]), np.array([7, 9]))
+        np.testing.assert_array_equal(target, [0, 7, 0, 9])
+
+
+# ----------------------------------------------------------------------
+# sorts
+# ----------------------------------------------------------------------
+class TestSortByKey:
+    def test_basic(self, dev):
+        keys, vals = prim.sort_by_key(
+            dev, np.array([3, 1, 2]), np.array([30, 10, 20])
+        )
+        np.testing.assert_array_equal(keys, [1, 2, 3])
+        np.testing.assert_array_equal(vals, [10, 20, 30])
+
+    def test_stability(self, dev):
+        keys, vals = prim.sort_by_key(
+            dev, np.array([1, 1, 0]), np.array([100, 200, 300])
+        )
+        np.testing.assert_array_equal(vals, [300, 100, 200])
+
+    def test_length_mismatch(self, dev):
+        from repro.errors import DeviceError
+
+        with pytest.raises(DeviceError):
+            prim.sort_by_key(dev, np.array([1, 2]), np.array([1]))
+
+    def test_argsort(self, dev):
+        perm = prim.argsort_by_key(dev, np.array([5, 1, 3]))
+        np.testing.assert_array_equal(perm, [1, 2, 0])
+
+
+class TestSegmentedSort:
+    def test_sorts_within_segments_only(self, dev):
+        seg = np.array([0, 0, 0, 1, 1])
+        keys = np.array([3, 1, 2, 9, 0])
+        vals = np.array([30, 10, 20, 90, 0])
+        s, k, v = prim.segmented_sort(dev, seg, keys, vals)
+        np.testing.assert_array_equal(s, seg)
+        np.testing.assert_array_equal(k, [1, 2, 3, 0, 9])
+        np.testing.assert_array_equal(v, [10, 20, 30, 0, 90])
+
+    def test_empty(self, dev):
+        s, k, v = prim.segmented_sort(
+            dev, np.array([], dtype=int), np.array([], dtype=int),
+            np.array([], dtype=int),
+        )
+        assert len(s) == len(k) == len(v) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 9), st.integers(0, 99)),
+        max_size=60,
+    )
+)
+def test_segmented_sort_matches_python_oracle(rows):
+    rows.sort(key=lambda r: r[0])  # group by segment first
+    seg = np.array([r[0] for r in rows], dtype=np.int64)
+    keys = np.array([r[1] for r in rows], dtype=np.int64)
+    vals = np.array([r[2] for r in rows], dtype=np.int64)
+    dev = Device(A4000)
+    s, k, v = prim.segmented_sort(dev, seg, keys, vals)
+    expected = sorted(rows, key=lambda r: (r[0], r[1]))
+    np.testing.assert_array_equal(k, [r[1] for r in expected])
+    np.testing.assert_array_equal(s, [r[0] for r in expected])
+
+
+# ----------------------------------------------------------------------
+# segment utilities
+# ----------------------------------------------------------------------
+class TestSegmentIds:
+    def test_expand(self, dev):
+        out = prim.segment_ids_from_ptr(dev, np.array([0, 2, 2, 5]))
+        np.testing.assert_array_equal(out, [0, 0, 2, 2, 2])
+
+    def test_empty(self, dev):
+        out = prim.segment_ids_from_ptr(dev, np.array([0]))
+        assert len(out) == 0
+
+
+class TestFindSubsegmentHeads:
+    def test_heads(self, dev):
+        seg = np.array([0, 0, 0, 1, 1])
+        keys = np.array([2, 2, 3, 3, 3])
+        heads = prim.find_subsegment_heads(dev, seg, keys)
+        np.testing.assert_array_equal(heads, [True, False, True, True, False])
+
+    def test_empty(self, dev):
+        heads = prim.find_subsegment_heads(
+            dev, np.array([], dtype=int), np.array([], dtype=int)
+        )
+        assert len(heads) == 0
+
+
+class TestSegmentedReduceSum:
+    def test_with_empty_segments(self, dev):
+        out = prim.segmented_reduce_sum(
+            dev, np.array([1.0, 2.0, 3.0]), np.array([0, 2, 2, 3])
+        )
+        np.testing.assert_array_equal(out, [3.0, 0.0, 3.0])
+
+    def test_integer_values(self, dev):
+        out = prim.segmented_reduce_sum(
+            dev, np.array([1, 2, 3], dtype=np.int64), np.array([0, 1, 3])
+        )
+        np.testing.assert_array_equal(out, [1, 5])
+
+
+class TestReduceByKey:
+    def test_basic(self, dev):
+        keys, sums = prim.reduce_by_key(
+            dev, np.array([1, 1, 2, 2, 2]), np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        )
+        np.testing.assert_array_equal(keys, [1, 2])
+        np.testing.assert_array_equal(sums, [3.0, 12.0])
+
+    def test_empty(self, dev):
+        keys, sums = prim.reduce_by_key(
+            dev, np.array([], dtype=int), np.array([], dtype=float)
+        )
+        assert len(keys) == 0 and len(sums) == 0
+
+    def test_non_adjacent_duplicates_not_merged(self, dev):
+        """reduce_by_key compresses runs, not global duplicates (thrust semantics)."""
+        keys, sums = prim.reduce_by_key(
+            dev, np.array([1, 2, 1]), np.array([1, 1, 1])
+        )
+        np.testing.assert_array_equal(keys, [1, 2, 1])
+
+
+class TestSegmentedReduceByKey:
+    def test_resets_at_segment_boundary(self, dev):
+        seg = np.array([0, 0, 1, 1])
+        keys = np.array([5, 5, 5, 5])
+        vals = np.array([1, 2, 3, 4])
+        s, k, v = prim.segmented_reduce_by_key(dev, seg, keys, vals)
+        np.testing.assert_array_equal(s, [0, 1])
+        np.testing.assert_array_equal(k, [5, 5])
+        np.testing.assert_array_equal(v, [3, 7])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 5), st.integers(1, 9)),
+        max_size=60,
+    )
+)
+def test_segmented_reduce_by_key_matches_dict_oracle(rows):
+    rows.sort(key=lambda r: (r[0], r[1]))
+    seg = np.array([r[0] for r in rows], dtype=np.int64)
+    keys = np.array([r[1] for r in rows], dtype=np.int64)
+    vals = np.array([r[2] for r in rows], dtype=np.int64)
+    dev = Device(A4000)
+    s, k, v = prim.segmented_reduce_by_key(dev, seg, keys, vals)
+    oracle: dict = {}
+    for a, b, c in rows:
+        oracle[(a, b)] = oracle.get((a, b), 0) + c
+    got = dict(zip(zip(s.tolist(), k.tolist()), v.tolist()))
+    assert got == oracle
+
+
+class TestSegmentedArgmin:
+    def test_basic(self, dev):
+        vals = np.array([5.0, 1.0, 3.0, 2.0, 4.0])
+        out = prim.segmented_argmin(dev, vals, np.array([0, 3, 5]))
+        np.testing.assert_array_equal(out, [1, 3])
+
+    def test_empty_segments_get_minus_one(self, dev):
+        vals = np.array([2.0])
+        out = prim.segmented_argmin(dev, vals, np.array([0, 0, 1, 1]))
+        np.testing.assert_array_equal(out, [-1, 0, -1])
+
+    def test_first_of_ties(self, dev):
+        vals = np.array([1.0, 1.0, 1.0])
+        out = prim.segmented_argmin(dev, vals, np.array([0, 3]))
+        np.testing.assert_array_equal(out, [0])
+
+
+class TestBincount:
+    def test_unweighted(self, dev):
+        out = prim.bincount(dev, np.array([0, 2, 2]), 4)
+        np.testing.assert_array_equal(out, [1, 0, 2, 0])
+
+    def test_weighted(self, dev):
+        out = prim.bincount(
+            dev, np.array([1, 1]), 3, weights=np.array([2.5, 0.5])
+        )
+        np.testing.assert_array_equal(out, [0.0, 3.0, 0.0])
+
+
+def test_all_primitives_record_kernels(dev):
+    prim.exclusive_scan(dev, np.arange(4))
+    prim.gather(dev, np.arange(4), np.array([0]))
+    prim.sort_by_key(dev, np.arange(4), np.arange(4))
+    names = {r.name for r in dev.profiler.kernel_records}
+    assert {"exclusive_scan", "gather", "sort_by_key"} <= names

@@ -1,0 +1,122 @@
+"""Tests for graph construction from edge lists."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import edge_lists
+from repro.errors import GraphFormatError
+from repro.graph.builder import build_graph, from_edge_iterable, from_networkx
+
+
+class TestBuildGraph:
+    def test_duplicate_edges_are_aggregated(self):
+        g = build_graph([0, 0, 0], [1, 1, 2], [2, 3, 1])
+        nbr, wgt = g.out_neighbors(0)
+        np.testing.assert_array_equal(nbr, [1, 2])
+        np.testing.assert_array_equal(wgt, [5, 1])
+        assert g.num_edges == 2
+
+    def test_default_weights_are_one(self):
+        g = build_graph([0, 1], [1, 0])
+        assert g.total_edge_weight == 2
+
+    def test_isolated_trailing_vertices(self):
+        g = build_graph([0], [1], num_vertices=5)
+        assert g.num_vertices == 5
+        assert g.out_adj.degree(4) == 0
+
+    def test_empty_graph(self):
+        g = build_graph([], [], num_vertices=3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+    def test_zero_vertex_graph(self):
+        g = build_graph([], [])
+        assert g.num_vertices == 0
+
+    def test_self_loops_preserved(self):
+        g = build_graph([2, 2], [2, 2], [1, 4])
+        nbr, wgt = g.out_neighbors(2)
+        np.testing.assert_array_equal(nbr, [2])
+        np.testing.assert_array_equal(wgt, [5])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphFormatError):
+            build_graph([0, 1], [1])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphFormatError):
+            build_graph([-1], [0])
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(GraphFormatError):
+            build_graph([0], [1], [0])
+
+    def test_id_exceeding_num_vertices_rejected(self):
+        with pytest.raises(GraphFormatError):
+            build_graph([0], [5], num_vertices=3)
+
+    def test_rows_sorted_by_column(self):
+        g = build_graph([0, 0, 0], [3, 1, 2])
+        nbr, _ = g.out_neighbors(0)
+        assert list(nbr) == sorted(nbr)
+
+
+class TestFromEdgeIterable:
+    def test_two_tuples(self):
+        g = from_edge_iterable([(0, 1), (1, 2)])
+        assert g.num_edges == 2
+        assert g.total_edge_weight == 2
+
+    def test_three_tuples(self):
+        g = from_edge_iterable([(0, 1, 7)])
+        assert g.total_edge_weight == 7
+
+    def test_bad_arity(self):
+        with pytest.raises(GraphFormatError):
+            from_edge_iterable([(0, 1, 2, 3)])  # type: ignore[list-item]
+
+
+class TestFromNetworkx:
+    def test_directed(self):
+        g = nx.DiGraph()
+        g.add_nodes_from(range(3))
+        g.add_edge(0, 1, weight=2)
+        g.add_edge(1, 2)
+        out = from_networkx(g)
+        assert out.num_vertices == 3
+        assert out.total_edge_weight == 3
+
+    def test_undirected_symmetrized(self):
+        g = nx.Graph()
+        g.add_nodes_from(range(2))
+        g.add_edge(0, 1, weight=3)
+        out = from_networkx(g)
+        nbr01, w01 = out.out_neighbors(0)
+        nbr10, w10 = out.out_neighbors(1)
+        assert list(nbr01) == [1] and list(w01) == [3]
+        assert list(nbr10) == [0] and list(w10) == [3]
+
+    def test_bad_labels_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b")
+        with pytest.raises(GraphFormatError):
+            from_networkx(g)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists())
+def test_builder_preserves_total_weight(data):
+    n, src, dst, wgt = data
+    g = build_graph(src, dst, wgt, num_vertices=n)
+    assert g.total_edge_weight == sum(wgt)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists())
+def test_builder_validates(data):
+    n, src, dst, wgt = data
+    g = build_graph(src, dst, wgt, num_vertices=n)
+    g.validate()  # must not raise

@@ -1,0 +1,136 @@
+"""Tests for the CSR graph container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import edge_lists
+from repro.errors import GraphValidationError
+from repro.graph.builder import build_graph
+from repro.graph.csr import CSRAdjacency
+
+
+class TestCSRAdjacency:
+    def make(self):
+        return CSRAdjacency(
+            ptr=[0, 2, 2, 3], nbr=[1, 2, 0], wgt=[5, 1, 2]
+        )
+
+    def test_row_access(self):
+        adj = self.make()
+        nbr, wgt = adj.row(0)
+        np.testing.assert_array_equal(nbr, [1, 2])
+        np.testing.assert_array_equal(wgt, [5, 1])
+
+    def test_empty_row(self):
+        adj = self.make()
+        nbr, wgt = adj.row(1)
+        assert len(nbr) == 0 and len(wgt) == 0
+
+    def test_degree(self):
+        adj = self.make()
+        assert adj.degree(0) == 6
+        assert adj.degree(1) == 0
+        assert adj.degree(2) == 2
+
+    def test_degrees_vectorized_matches_scalar(self):
+        adj = self.make()
+        np.testing.assert_array_equal(
+            adj.degrees(), [adj.degree(i) for i in range(3)]
+        )
+
+    def test_row_lengths(self):
+        np.testing.assert_array_equal(self.make().row_lengths(), [2, 0, 1])
+
+    def test_validate_ok(self):
+        self.make().validate()
+
+    def test_validate_bad_ptr_start(self):
+        adj = CSRAdjacency(ptr=[1, 2], nbr=[0, 0], wgt=[1, 1])
+        with pytest.raises(GraphValidationError):
+            adj.validate()
+
+    def test_validate_decreasing_ptr(self):
+        adj = CSRAdjacency(ptr=[0, 2, 1], nbr=[0, 0], wgt=[1, 1])
+        with pytest.raises(GraphValidationError):
+            adj.validate()
+
+    def test_validate_ptr_nnz_mismatch(self):
+        adj = CSRAdjacency(ptr=[0, 1], nbr=[0, 0], wgt=[1, 1])
+        with pytest.raises(GraphValidationError):
+            adj.validate()
+
+    def test_validate_neighbor_out_of_range(self):
+        adj = CSRAdjacency(ptr=[0, 1], nbr=[5], wgt=[1])
+        with pytest.raises(GraphValidationError):
+            adj.validate()
+
+    def test_validate_nonpositive_weight(self):
+        adj = CSRAdjacency(ptr=[0, 1], nbr=[0], wgt=[0])
+        with pytest.raises(GraphValidationError):
+            adj.validate()
+
+
+class TestDiGraphCSR:
+    def test_counts(self, tiny_graph):
+        assert tiny_graph.num_vertices == 4
+        assert tiny_graph.num_edges == 6
+        assert tiny_graph.total_edge_weight == 17
+
+    def test_out_neighbors(self, tiny_graph):
+        nbr, wgt = tiny_graph.out_neighbors(0)
+        np.testing.assert_array_equal(nbr, [0, 2])
+        np.testing.assert_array_equal(wgt, [3, 5])
+
+    def test_in_neighbors(self, tiny_graph):
+        nbr, wgt = tiny_graph.in_neighbors(2)
+        np.testing.assert_array_equal(sorted(nbr), [0, 3])
+        assert dict(zip(nbr, wgt)) == {0: 5, 3: 2}
+
+    def test_degrees_include_self_loop_once_per_direction(self, tiny_graph):
+        # vertex 0: out = 3 (self) + 5 = 8; in = 3 (self) + 2 = 5
+        assert tiny_graph.out_degrees()[0] == 8
+        assert tiny_graph.in_degrees()[0] == 5
+        assert tiny_graph.degrees()[0] == 13
+
+    def test_edges_iterator(self, tiny_graph):
+        edges = set(tiny_graph.edges())
+        assert (0, 0, 3) in edges
+        assert (2, 1, 4) in edges
+        assert len(edges) == 6
+
+    def test_edge_arrays_total_weight(self, tiny_graph):
+        src, dst, wgt = tiny_graph.edge_arrays()
+        assert wgt.sum() == tiny_graph.total_edge_weight
+        assert len(src) == len(dst) == len(wgt) == tiny_graph.num_edges
+
+    def test_validate(self, tiny_graph):
+        tiny_graph.validate()
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists())
+def test_csr_out_in_duality(data):
+    """Every out-edge must appear exactly once as an in-edge."""
+    n, src, dst, wgt = data
+    graph = build_graph(src, dst, wgt, num_vertices=n)
+    out_edges = set()
+    for v in range(n):
+        nbr, w = graph.out_neighbors(v)
+        for u, x in zip(nbr, w):
+            out_edges.add((v, int(u), int(x)))
+    in_edges = set()
+    for v in range(n):
+        nbr, w = graph.in_neighbors(v)
+        for u, x in zip(nbr, w):
+            in_edges.add((int(u), v, int(x)))
+    assert out_edges == in_edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_lists())
+def test_csr_degrees_sum_to_total_weight(data):
+    n, src, dst, wgt = data
+    graph = build_graph(src, dst, wgt, num_vertices=n)
+    assert graph.out_degrees().sum() == graph.total_edge_weight
+    assert graph.in_degrees().sum() == graph.total_edge_weight

@@ -1,0 +1,85 @@
+"""Tests for the SBPC dataset registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.datasets import (
+    CATEGORIES,
+    SIZES,
+    DatasetSpec,
+    clear_dataset_cache,
+    iter_specs,
+    load_dataset,
+    normalize_category,
+)
+
+
+class TestSpec:
+    def test_table1_sizes_present(self):
+        assert SIZES == (1_000, 5_000, 20_000, 50_000, 200_000, 1_000_000)
+
+    def test_four_categories(self):
+        assert len(CATEGORIES) == 4
+        assert CATEGORIES[0] == "low_low" and CATEGORIES[-1] == "high_high"
+
+    def test_spec_properties(self):
+        spec = DatasetSpec("low_high", 1_000)
+        assert spec.overlap == "low"
+        assert spec.size_variation == "high"
+        assert spec.num_blocks == 11
+        assert "Low-High" in spec.label
+
+    def test_bad_category(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec("medium_low", 1_000)
+
+    def test_bad_size(self):
+        with pytest.raises(DatasetError):
+            DatasetSpec("low_low", 1)
+
+    def test_iter_specs_covers_matrix(self):
+        specs = list(iter_specs(sizes=(1_000, 5_000)))
+        assert len(specs) == 8
+
+
+class TestNormalize:
+    @pytest.mark.parametrize(
+        "raw", ["low_high", "Low-High", "LOW HIGH", " low-high "]
+    )
+    def test_accepted_spellings(self, raw):
+        assert normalize_category(raw) == "low_high"
+
+    def test_rejects_unknown(self):
+        with pytest.raises(DatasetError):
+            normalize_category("foo")
+
+
+class TestLoadDataset:
+    def test_returns_graph_and_truth(self):
+        graph, truth = load_dataset("low_low", 200)
+        assert graph.num_vertices == 200
+        assert len(truth) == 200
+        assert truth.min() >= 0
+
+    def test_cached_same_object(self):
+        a = load_dataset("low_low", 200)
+        b = load_dataset("low_low", 200)
+        assert a[0] is b[0]
+
+    def test_different_seeds_differ(self):
+        _, t1 = load_dataset("low_low", 200, seed=0)
+        _, t2 = load_dataset("low_low", 200, seed=1)
+        assert not np.array_equal(t1, t2)
+
+    def test_clear_cache(self):
+        a = load_dataset("low_low", 200)
+        clear_dataset_cache()
+        b = load_dataset("low_low", 200)
+        assert a[0] is not b[0]
+        np.testing.assert_array_equal(a[1], b[1])  # still deterministic
+
+    def test_category_spelling_flexible(self):
+        g1, _ = load_dataset("High-High", 200)
+        g2, _ = load_dataset("high_high", 200)
+        assert g1 is g2

@@ -1,0 +1,145 @@
+"""Tests for the DC-SBM generator (SBPC dataset synthesis)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph.generators import (
+    HIGH_OVERLAP,
+    LOW_OVERLAP,
+    SBMParams,
+    default_average_degree,
+    default_num_blocks,
+    generate_category_graph,
+    generate_dcsbm,
+)
+
+
+class TestDefaults:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(1_000, 11), (5_000, 19), (20_000, 32), (50_000, 44),
+         (200_000, 71), (1_000_000, 125)],
+    )
+    def test_table1_block_counts(self, size, expected):
+        assert default_num_blocks(size) == expected
+
+    def test_block_count_interpolates(self):
+        assert 11 < default_num_blocks(10_000) < 44
+
+    @pytest.mark.parametrize(
+        "size,expected",
+        [(1_000, 8.0), (5_000, 10.2), (20_000, 23.7), (200_000, 23.7)],
+    )
+    def test_table1_average_degrees(self, size, expected):
+        assert default_average_degree(size) == pytest.approx(expected)
+
+    def test_degree_monotone_between_anchors(self):
+        assert 8.0 < default_average_degree(2_500) < 10.2
+        assert 10.2 < default_average_degree(10_000) < 23.7
+
+
+class TestParams:
+    def test_valid(self):
+        SBMParams(num_vertices=100, num_blocks=5, average_degree=8,
+                  block_overlap=0.1, block_size_variation_alpha=10)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_vertices": 0},
+            {"num_blocks": 0},
+            {"num_blocks": 101},
+            {"average_degree": 0},
+            {"block_overlap": 1.0},
+            {"block_overlap": -0.1},
+            {"block_size_variation_alpha": 0},
+            {"degree_exponent": 1.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        base = dict(num_vertices=100, num_blocks=5, average_degree=8,
+                    block_overlap=0.1, block_size_variation_alpha=10)
+        base.update(kwargs)
+        with pytest.raises(ConfigError):
+            SBMParams(**base)
+
+
+class TestGenerate:
+    def params(self, **overrides):
+        base = dict(num_vertices=400, num_blocks=6, average_degree=10,
+                    block_overlap=0.1, block_size_variation_alpha=10, seed=3)
+        base.update(overrides)
+        return SBMParams(**base)
+
+    def test_shapes(self):
+        graph, truth = generate_dcsbm(self.params())
+        assert graph.num_vertices == 400
+        assert len(truth) == 400
+        assert int(truth.max()) + 1 == 6
+
+    def test_every_block_non_empty(self):
+        _, truth = generate_dcsbm(self.params())
+        assert np.all(np.bincount(truth, minlength=6) > 0)
+
+    def test_edge_count_near_target(self):
+        graph, _ = generate_dcsbm(self.params())
+        target = 400 * 10
+        assert 0.8 * target <= graph.total_edge_weight <= 1.2 * target
+
+    def test_deterministic_per_seed(self):
+        g1, t1 = generate_dcsbm(self.params())
+        g2, t2 = generate_dcsbm(self.params())
+        np.testing.assert_array_equal(t1, t2)
+        np.testing.assert_array_equal(g1.out_adj.nbr, g2.out_adj.nbr)
+
+    def test_seeds_differ(self):
+        _, t1 = generate_dcsbm(self.params(seed=1))
+        _, t2 = generate_dcsbm(self.params(seed=2))
+        assert not np.array_equal(t1, t2)
+
+    def test_overlap_controls_intra_fraction(self):
+        low_g, low_t = generate_dcsbm(self.params(block_overlap=LOW_OVERLAP))
+        high_g, high_t = generate_dcsbm(self.params(block_overlap=HIGH_OVERLAP))
+
+        def intra_fraction(graph, truth):
+            src, dst, wgt = graph.edge_arrays()
+            intra = wgt[truth[src] == truth[dst]].sum()
+            return intra / wgt.sum()
+
+        assert intra_fraction(low_g, low_t) > intra_fraction(high_g, high_t)
+        assert intra_fraction(low_g, low_t) > 0.8
+
+    def test_size_variation_controls_spread(self):
+        _, low_t = generate_dcsbm(self.params(block_size_variation_alpha=50))
+        _, high_t = generate_dcsbm(self.params(block_size_variation_alpha=0.8))
+        low_sizes = np.bincount(low_t)
+        high_sizes = np.bincount(high_t)
+        low_cv = low_sizes.std() / low_sizes.mean()
+        high_cv = high_sizes.std() / high_sizes.mean()
+        assert high_cv > low_cv
+
+    def test_truth_not_id_ordered(self):
+        """Vertex ids must not leak block membership."""
+        _, truth = generate_dcsbm(self.params())
+        assert np.any(np.diff(truth) != 0)
+        # sorted truth would be non-decreasing; shuffled truth is not
+        assert np.any(np.diff(truth) < 0)
+
+
+class TestCategoryGraph:
+    def test_valid_categories(self):
+        graph, truth = generate_category_graph(200, "low", "high", seed=1)
+        assert graph.num_vertices == 200
+
+    def test_invalid_overlap(self):
+        with pytest.raises(ConfigError):
+            generate_category_graph(100, "medium", "low")
+
+    def test_invalid_variation(self):
+        with pytest.raises(ConfigError):
+            generate_category_graph(100, "low", "medium")
+
+    def test_custom_block_count(self):
+        _, truth = generate_category_graph(200, "low", "low", num_blocks=4)
+        assert int(truth.max()) + 1 == 4

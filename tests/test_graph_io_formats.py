@@ -1,0 +1,86 @@
+"""Tests for the additional interchange formats (SNAP, MatrixMarket)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.builder import build_graph
+from repro.graph.io import (
+    load_matrix_market,
+    load_snap_edge_list,
+    save_matrix_market,
+)
+
+
+@pytest.fixture
+def sample_graph():
+    return build_graph([0, 1, 2, 2], [1, 2, 0, 2], [2, 1, 3, 4])
+
+
+class TestSnap:
+    def test_zero_based_with_comments(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# Directed graph\n# Nodes: 3 Edges: 2\n0\t1\n1\t2\n")
+        g = load_snap_edge_list(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.total_edge_weight == 2
+
+    def test_explicit_vertex_count(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("0\t1\n")
+        g = load_snap_edge_list(path, num_vertices=10)
+        assert g.num_vertices == 10
+
+
+class TestMatrixMarket:
+    def test_round_trip(self, tmp_path, sample_graph):
+        path = tmp_path / "g.mtx"
+        save_matrix_market(sample_graph, path, comment="test graph")
+        loaded = load_matrix_market(path)
+        assert set(loaded.edges()) == set(sample_graph.edges())
+
+    def test_header_format(self, tmp_path, sample_graph):
+        path = tmp_path / "g.mtx"
+        save_matrix_market(sample_graph, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "%%MatrixMarket matrix coordinate integer general"
+        n = sample_graph.num_vertices
+        assert lines[1] == f"{n} {n} {sample_graph.num_edges}"
+
+    def test_symmetric_matrix_expanded(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate integer symmetric\n"
+            "3 3 2\n"
+            "2 1 5\n"
+            "3 3 1\n"
+        )
+        g = load_matrix_market(path)
+        # off-diagonal symmetric entry becomes both directions
+        assert (1, 0, 5) in set(g.edges())
+        assert (0, 1, 5) in set(g.edges())
+        assert (2, 2, 1) in set(g.edges())
+
+    def test_real_weights_rounded(self, tmp_path):
+        path = tmp_path / "real.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 2\n"
+            "1 2 2.6\n"
+            "2 1 0.2\n"
+        )
+        g = load_matrix_market(path)
+        weights = dict(((s, d), w) for s, d, w in g.edges())
+        assert weights[(0, 1)] == 3  # rounded
+        assert weights[(1, 0)] == 1  # floored to 1
+
+    def test_non_square_rejected(self, tmp_path):
+        path = tmp_path / "rect.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate integer general\n"
+            "2 3 1\n"
+            "1 2 1\n"
+        )
+        with pytest.raises(GraphFormatError):
+            load_matrix_market(path)

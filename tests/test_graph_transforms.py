@@ -1,0 +1,136 @@
+"""Tests for graph transformations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from conftest import edge_lists
+from repro.errors import GraphValidationError
+from repro.graph.builder import build_graph
+from repro.graph.transforms import (
+    induced_subgraph,
+    largest_weakly_connected_component,
+    permute_vertices,
+    project_partition,
+    remove_self_loops,
+    reverse,
+    symmetrize,
+)
+
+
+class TestReverse:
+    def test_edges_flipped(self, tiny_graph):
+        rev = reverse(tiny_graph)
+        assert set(rev.edges()) == {
+            (d, s, w) for s, d, w in tiny_graph.edges()
+        }
+
+    def test_involution(self, tiny_graph):
+        double = reverse(reverse(tiny_graph))
+        assert set(double.edges()) == set(tiny_graph.edges())
+
+
+class TestSymmetrize:
+    def test_weight_doubles(self, tiny_graph):
+        sym = symmetrize(tiny_graph)
+        assert sym.total_edge_weight == 2 * tiny_graph.total_edge_weight
+
+    def test_in_equals_out(self, tiny_graph):
+        sym = symmetrize(tiny_graph)
+        np.testing.assert_array_equal(sym.out_degrees(), sym.in_degrees())
+
+
+class TestRemoveSelfLoops:
+    def test_removed(self, tiny_graph):
+        clean = remove_self_loops(tiny_graph)
+        src, dst, _ = clean.edge_arrays()
+        assert not np.any(src == dst)
+        assert clean.total_edge_weight == tiny_graph.total_edge_weight - 3
+
+    def test_noop_when_none(self):
+        g = build_graph([0, 1], [1, 0])
+        assert remove_self_loops(g).num_edges == 2
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges(self, tiny_graph):
+        sub, kept = induced_subgraph(tiny_graph, np.array([0, 2]))
+        np.testing.assert_array_equal(kept, [0, 2])
+        # edges among {0, 2}: 0->0 (3) and 0->2 (5)
+        assert sub.total_edge_weight == 8
+        assert sub.num_vertices == 2
+
+    def test_duplicates_deduped(self, tiny_graph):
+        sub, kept = induced_subgraph(tiny_graph, np.array([2, 0, 2]))
+        assert len(kept) == 2
+
+    def test_out_of_range(self, tiny_graph):
+        with pytest.raises(GraphValidationError):
+            induced_subgraph(tiny_graph, np.array([99]))
+
+
+class TestLargestWCC:
+    def test_picks_larger_component(self):
+        # component A: 0-1-2 (triangle), component B: 3-4
+        g = build_graph([0, 1, 2, 3], [1, 2, 0, 4], num_vertices=5)
+        sub, kept = largest_weakly_connected_component(g)
+        np.testing.assert_array_equal(kept, [0, 1, 2])
+        assert sub.num_edges == 3
+
+    def test_whole_graph_connected(self, tiny_graph):
+        sub, kept = largest_weakly_connected_component(tiny_graph)
+        assert len(kept) == tiny_graph.num_vertices
+
+    def test_empty_graph(self):
+        g = build_graph([], [], num_vertices=0)
+        sub, kept = largest_weakly_connected_component(g)
+        assert len(kept) == 0
+
+
+class TestPermute:
+    def test_relabels(self):
+        g = build_graph([0], [1], num_vertices=3)
+        out = permute_vertices(g, np.array([2, 0, 1]))
+        assert set(out.edges()) == {(2, 0, 1)}
+
+    def test_identity(self, tiny_graph):
+        out = permute_vertices(tiny_graph, np.arange(4))
+        assert set(out.edges()) == set(tiny_graph.edges())
+
+    def test_non_bijection_rejected(self, tiny_graph):
+        with pytest.raises(GraphValidationError):
+            permute_vertices(tiny_graph, np.array([0, 0, 1, 2]))
+
+
+class TestProjectPartition:
+    def test_projection(self):
+        out = project_partition(np.array([0, 1]), np.array([1, 3]), 5)
+        np.testing.assert_array_equal(out, [-1, 0, -1, 1, -1])
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(GraphValidationError):
+            project_partition(np.array([0]), np.array([1, 2]), 5)
+
+    def test_custom_fill(self):
+        out = project_partition(np.array([2]), np.array([0]), 2, fill=9)
+        np.testing.assert_array_equal(out, [2, 9])
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists())
+def test_symmetrize_reverse_consistency(data):
+    """symmetrize(g) == symmetrize(reverse(g)) as edge sets."""
+    n, src, dst, wgt = data
+    g = build_graph(src, dst, wgt, num_vertices=n)
+    a = set(symmetrize(g).edges())
+    b = set(symmetrize(reverse(g)).edges())
+    assert a == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_lists())
+def test_induced_subgraph_of_everything_is_identity(data):
+    n, src, dst, wgt = data
+    g = build_graph(src, dst, wgt, num_vertices=n)
+    sub, kept = induced_subgraph(g, np.arange(n))
+    assert set(sub.edges()) == set(g.edges())

@@ -1,0 +1,189 @@
+"""Tests for NMI (Table 4's metric), ARI, and pairwise scores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.metrics import (
+    PairwiseScores,
+    ari,
+    contingency_table,
+    entropy_of_counts,
+    mutual_information,
+    nmi,
+    pairwise_scores,
+)
+
+partitions = st.lists(st.integers(0, 5), min_size=1, max_size=40)
+
+
+class TestContingency:
+    def test_basic(self):
+        table = contingency_table(np.array([0, 0, 1]), np.array([1, 1, 0]))
+        np.testing.assert_array_equal(table, [[0, 2], [1, 0]])
+
+    def test_negative_labels_excluded(self):
+        table = contingency_table(np.array([0, -1, 1]), np.array([0, 0, 1]))
+        assert table.sum() == 2
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ReproError):
+            contingency_table(np.array([0]), np.array([0, 1]))
+
+    def test_sparse_label_spaces_compacted(self):
+        table = contingency_table(
+            np.array([1000000, 0]), np.array([5, 99])
+        )
+        assert table.shape == (2, 2)
+
+
+class TestEntropyOfCounts:
+    def test_uniform(self):
+        assert entropy_of_counts(np.array([1, 1])) == pytest.approx(np.log(2))
+
+    def test_deterministic_zero(self):
+        assert entropy_of_counts(np.array([5, 0])) == 0.0
+
+    def test_empty(self):
+        assert entropy_of_counts(np.array([])) == 0.0
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        a = np.array([0, 0, 1, 1, 2])
+        assert nmi(a, a) == pytest.approx(1.0)
+
+    def test_relabelled_partitions(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([7, 7, 3, 3])
+        assert nmi(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert nmi(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_both_constant(self):
+        assert nmi(np.zeros(4, int), np.zeros(4, int)) == 1.0
+
+    def test_one_constant(self):
+        assert nmi(np.zeros(4, int), np.array([0, 1, 0, 1])) == 0.0
+
+    def test_empty(self):
+        assert nmi(np.array([], dtype=int), np.array([], dtype=int)) == 0.0
+
+    def test_partial_overlap_between_zero_and_one(self):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 1, 1])
+        value = nmi(a, b)
+        assert 0.0 < value < 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions, partitions)
+def test_nmi_symmetric(a, b):
+    n = min(len(a), len(b))
+    a, b = np.array(a[:n]), np.array(b[:n])
+    assert nmi(a, b) == pytest.approx(nmi(b, a), abs=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions)
+def test_nmi_self_is_one(a):
+    a = np.array(a)
+    assert nmi(a, a) == pytest.approx(1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions, partitions)
+def test_nmi_bounded(a, b):
+    n = min(len(a), len(b))
+    a, b = np.array(a[:n]), np.array(b[:n])
+    value = nmi(a, b)
+    assert -1e-12 <= value <= 1.0 + 1e-12
+
+
+class TestARI:
+    def test_identical(self):
+        a = np.array([0, 0, 1, 2])
+        assert ari(a, a) == pytest.approx(1.0)
+
+    def test_relabelled(self):
+        assert ari(np.array([0, 0, 1]), np.array([5, 5, 2])) == pytest.approx(1.0)
+
+    def test_singletons_vs_grouped(self):
+        a = np.arange(6)
+        b = np.zeros(6, dtype=int)
+        assert ari(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_element(self):
+        assert ari(np.array([0]), np.array([0])) == 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions, partitions)
+def test_ari_symmetric_and_bounded(a, b):
+    n = min(len(a), len(b))
+    a, b = np.array(a[:n]), np.array(b[:n])
+    v = ari(a, b)
+    assert v == pytest.approx(ari(b, a), abs=1e-12)
+    assert -1.0 - 1e-9 <= v <= 1.0 + 1e-9
+
+
+class TestPairwise:
+    def test_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        scores = pairwise_scores(a, a)
+        assert scores.precision == 1.0 and scores.recall == 1.0
+        assert scores.f1 == 1.0
+
+    def test_overmerged_prediction_high_recall(self):
+        truth = np.array([0, 0, 1, 1])
+        pred = np.zeros(4, dtype=int)
+        scores = pairwise_scores(pred, truth)
+        assert scores.recall == 1.0
+        assert scores.precision == pytest.approx(2 / 6)
+
+    def test_oversplit_prediction_high_precision(self):
+        truth = np.zeros(4, dtype=int)
+        pred = np.array([0, 0, 1, 1])
+        scores = pairwise_scores(pred, truth)
+        assert scores.precision == 1.0
+        assert scores.recall == pytest.approx(2 / 6)
+
+    def test_singleton_prediction(self):
+        scores = pairwise_scores(np.arange(4), np.zeros(4, dtype=int))
+        assert scores.precision == 1.0  # vacuous: no predicted pairs
+        assert scores.recall == 0.0
+        assert scores.f1 == 0.0
+
+    def test_empty(self):
+        scores = pairwise_scores(np.array([], dtype=int), np.array([], dtype=int))
+        assert scores.precision == 0.0 and scores.recall == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions, partitions)
+def test_pairwise_precision_recall_duality(a, b):
+    """precision(a, b) == recall(b, a) by definition."""
+    n = min(len(a), len(b))
+    a, b = np.array(a[:n]), np.array(b[:n])
+    ab = pairwise_scores(a, b)
+    ba = pairwise_scores(b, a)
+    assert ab.precision == pytest.approx(ba.recall, abs=1e-12)
+    assert ab.recall == pytest.approx(ba.precision, abs=1e-12)
+
+
+class TestMutualInformation:
+    def test_zero_for_independent(self):
+        table = np.array([[1, 1], [1, 1]])
+        assert mutual_information(table) == pytest.approx(0.0, abs=1e-12)
+
+    def test_log2_for_perfect_binary(self):
+        table = np.array([[2, 0], [0, 2]])
+        assert mutual_information(table) == pytest.approx(np.log(2))
+
+    def test_empty_table(self):
+        assert mutual_information(np.zeros((0, 0))) == 0.0

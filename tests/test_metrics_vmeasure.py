@@ -1,0 +1,78 @@
+"""Tests for homogeneity / completeness / V-measure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import v_measure
+
+partitions = st.lists(st.integers(0, 4), min_size=1, max_size=30)
+
+
+class TestVMeasure:
+    def test_perfect_match(self):
+        a = np.array([0, 0, 1, 1])
+        scores = v_measure(a, a)
+        assert scores.homogeneity == pytest.approx(1.0)
+        assert scores.completeness == pytest.approx(1.0)
+        assert scores.v_measure == pytest.approx(1.0)
+
+    def test_oversplit_is_homogeneous_not_complete(self):
+        truth = np.array([0, 0, 0, 0])
+        pred = np.array([0, 0, 1, 1])
+        scores = v_measure(pred, truth)
+        assert scores.homogeneity == pytest.approx(1.0)
+        assert scores.completeness < 1.0
+
+    def test_overmerged_is_complete_not_homogeneous(self):
+        truth = np.array([0, 0, 1, 1])
+        pred = np.array([0, 0, 0, 0])
+        scores = v_measure(pred, truth)
+        assert scores.completeness == pytest.approx(1.0)
+        assert scores.homogeneity == 0.0  # constant prediction
+
+    def test_half_split_values(self):
+        """Truth has 2 classes; prediction splits one of them."""
+        truth = np.array([0, 0, 1, 1])
+        pred = np.array([0, 0, 1, 2])
+        scores = v_measure(pred, truth)
+        assert scores.homogeneity == pytest.approx(1.0)
+        assert 0.5 < scores.completeness < 1.0
+
+    def test_empty(self):
+        scores = v_measure(np.array([], dtype=int), np.array([], dtype=int))
+        assert scores.v_measure == 1.0
+
+    def test_zero_denominator_v(self):
+        from repro.metrics.vmeasure import VMeasureScores
+
+        assert VMeasureScores(0.0, 0.0).v_measure == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions, partitions)
+def test_scores_bounded(a, b):
+    n = min(len(a), len(b))
+    scores = v_measure(np.array(a[:n]), np.array(b[:n]))
+    assert 0.0 <= scores.homogeneity <= 1.0
+    assert 0.0 <= scores.completeness <= 1.0
+    assert 0.0 <= scores.v_measure <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions)
+def test_self_comparison_perfect(a):
+    arr = np.array(a)
+    assert v_measure(arr, arr).v_measure == pytest.approx(1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(partitions, partitions)
+def test_duality(a, b):
+    """homogeneity(a, b) == completeness(b, a)."""
+    n = min(len(a), len(b))
+    ab = v_measure(np.array(a[:n]), np.array(b[:n]))
+    ba = v_measure(np.array(b[:n]), np.array(a[:n]))
+    assert ab.homogeneity == pytest.approx(ba.completeness, abs=1e-12)
+    assert ab.completeness == pytest.approx(ba.homogeneity, abs=1e-12)

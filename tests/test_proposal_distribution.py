@@ -1,0 +1,84 @@
+"""Statistical tests of the Algorithm-1 proposal mixture.
+
+The escape-hatch probability ``B / (deg(u) + B)`` is the knob keeping
+the chain out of local MDL minima; these tests pin its realised
+frequency (within Monte-Carlo tolerance) on constructed blockmodels
+where each branch's output is identifiable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blockmodel.blockmodel import BlockmodelCSR
+from repro.core.proposals import propose_block_merges
+from repro.gpusim.device import A4000, Device
+
+
+def chain_blockmodel(heavy: int) -> BlockmodelCSR:
+    """Three blocks: 0 -> 1 -> 2 with weight *heavy*, plus 2 -> 0 weight 1.
+
+    Block 0's only neighbour is 1, and block 1's multinomial is dominated
+    by 2, so for proposer 0 the non-random branch proposes 2 almost
+    surely while the random branch is uniform.
+    """
+    dense = np.zeros((3, 3), dtype=np.int64)
+    dense[0, 1] = heavy
+    dense[1, 2] = heavy
+    dense[2, 0] = 1
+    return BlockmodelCSR.from_dense(dense)
+
+
+class TestEscapeHatchFrequency:
+    @pytest.mark.parametrize("heavy,tolerance", [(50, 0.05), (500, 0.03)])
+    def test_random_branch_rate_matches_formula(self, heavy, tolerance):
+        """For proposer 0 the pivot u=1 has deg(u)=2·heavy+... measured
+        against the expected escape probability B/(deg(u)+B)."""
+        bm = chain_blockmodel(heavy)
+        device = Device(A4000)
+        rng = np.random.default_rng(0)
+        num_proposals = 4000
+        batch = propose_block_merges(device, bm, rng, num_proposals)
+        proposals_for_0 = batch.proposals.reshape(num_proposals, 3)[:, 0]
+
+        b = 3
+        deg_u = int(bm.deg_total()[1])  # pivot is always block 1
+        p_random = b / (deg_u + b)
+        # non-random branch: multinomial of u=1 ∝ row 1 + col 1 =
+        # {2: heavy (out), 0: heavy (in)} → proposes 0 or 2; the 0 case
+        # is then nudged... no: proposer is 0, nudge triggers on
+        # proposal == proposer, mapping 0 -> 1.
+        # random branch: uniform over {0,1,2}, 0 nudged to 1.
+        # => P(propose 2) = (1 - p_random)·0.5 + p_random/3
+        expected_2 = (1 - p_random) * 0.5 + p_random / 3
+        measured_2 = float(np.mean(proposals_for_0 == 2))
+        assert measured_2 == pytest.approx(expected_2, abs=tolerance)
+
+    def test_higher_degree_pivot_uses_adjacency_more(self):
+        """Raising deg(u) must lower the random-branch rate (the formula's
+        monotonicity), visible as more adjacency-driven proposals."""
+        device = Device(A4000)
+        rates = []
+        for heavy in (5, 500):
+            bm = chain_blockmodel(heavy)
+            rng = np.random.default_rng(1)
+            batch = propose_block_merges(device, bm, rng, 3000)
+            proposals_for_0 = batch.proposals.reshape(3000, 3)[:, 0]
+            rates.append(float(np.mean(proposals_for_0 == 2)))
+        assert rates[1] > rates[0]
+
+    def test_multinomial_branch_weight_proportionality(self):
+        """Pivot row weights steer the non-random branch's choice."""
+        dense = np.zeros((4, 4), dtype=np.int64)
+        dense[0, 1] = 1000  # proposer 0's pivot is block 1
+        dense[1, 2] = 900  # u=1's adjacency: 90% block 2 ...
+        dense[1, 3] = 100  # ... 10% block 3
+        bm = BlockmodelCSR.from_dense(dense)
+        device = Device(A4000)
+        rng = np.random.default_rng(2)
+        batch = propose_block_merges(device, bm, rng, 6000)
+        proposals_for_0 = batch.proposals.reshape(6000, 4)[:, 0]
+        picked = proposals_for_0[np.isin(proposals_for_0, (2, 3))]
+        frac_2 = float(np.mean(picked == 2))
+        # the multinomial over row1+col1 = {2: 900, 3: 100, 0: 1000};
+        # restricted to {2,3} the odds are 9:1
+        assert frac_2 == pytest.approx(0.9, abs=0.03)
