@@ -1,6 +1,6 @@
 # Convenience targets for the GSAP reproduction.
 
-.PHONY: install test test-fast bench bench-paper examples lint clean
+.PHONY: install test test-fast test-faults bench bench-paper examples lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 test-fast:
 	pytest tests/ -m "not slow"
+
+test-faults:
+	pytest tests/ -m faults
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -22,8 +22,14 @@ Quickstart
 """
 
 from .analysis import compare_partitions, quotient_graph, summarize_partition
-from .checkpoint import load_result, save_result
-from .config import SBPConfig
+from .checkpoint import (
+    RunCheckpoint,
+    load_result,
+    load_run_checkpoint,
+    save_result,
+    save_run_checkpoint,
+)
+from .config import ResilienceConfig, SBPConfig
 from .core import (
     GSAPPartitioner,
     PartitionResult,
@@ -31,14 +37,26 @@ from .core import (
     partition_graph,
 )
 from .errors import (
+    CheckpointError,
     ConfigError,
     ConvergenceError,
     DatasetError,
     DeviceError,
+    FaultInjected,
     GraphFormatError,
     GraphValidationError,
     PartitionError,
     ReproError,
+    RetryExhaustedError,
+)
+from .resilience import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    ResilienceStats,
+    RetryPolicy,
+    install_fault_injector,
+    with_retries,
 )
 from .graph import (
     DiGraphCSR,
@@ -60,19 +78,33 @@ __all__ = [
     "summarize_partition",
     "load_result",
     "save_result",
+    "RunCheckpoint",
+    "load_run_checkpoint",
+    "save_run_checkpoint",
     "StreamingGSAP",
     "SBPConfig",
+    "ResilienceConfig",
     "GSAPPartitioner",
     "PartitionResult",
     "partition_graph",
+    "CheckpointError",
     "ConfigError",
     "ConvergenceError",
     "DatasetError",
     "DeviceError",
+    "FaultInjected",
     "GraphFormatError",
     "GraphValidationError",
     "PartitionError",
     "ReproError",
+    "RetryExhaustedError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "ResilienceStats",
+    "RetryPolicy",
+    "install_fault_injector",
+    "with_retries",
     "DiGraphCSR",
     "build_graph",
     "generate_category_graph",

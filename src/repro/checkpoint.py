@@ -1,32 +1,99 @@
-"""Saving and loading partitioning results.
+"""Saving and loading partitioning state: results and mid-run snapshots.
 
-A :class:`~repro.core.result.PartitionResult` serialises to a directory:
-``result.json`` (scalars, history, timings) plus ``partition.npy`` (the
-block-id array).  Round-tripping is exact; files are plain JSON/NPY so
-downstream tooling in any language can consume them.
+Two checkpoint kinds live here:
+
+* **Result checkpoints** (:func:`save_result` / :func:`load_result`) —
+  a finished :class:`~repro.core.result.PartitionResult` serialised to a
+  directory as ``result.json`` (scalars, history, timings) plus
+  ``partition.npy`` (the block-id array).  Round-tripping is exact.
+
+* **Run checkpoints** (:func:`save_run_checkpoint` /
+  :func:`load_run_checkpoint`) — the full mid-run state of a
+  :class:`~repro.core.partitioner.GSAPPartitioner` at a golden-section
+  plateau boundary: the three bracket snapshots, search history, RNG
+  stream counters, accumulated timings, and degradation state.  A run
+  killed between plateaus resumes from its latest checkpoint and — with
+  the same seed — reaches the identical final partition.
+
+Every write is crash-safe: files land under temporary names and are
+atomically :func:`os.replace`'d into place, with the JSON manifest
+committed last, so a reader never observes a torn checkpoint.  Loads
+validate ``format_version`` and raise
+:class:`~repro.errors.CheckpointError` on mismatch or truncation.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from .core.result import PartitionResult
-from .core.state import PhaseTimings, ProposalStats
-from .errors import ReproError
+from .core.state import PartitionSnapshot, PhaseTimings, ProposalStats
+from .errors import CheckpointError
+from .resilience.retry import ResilienceStats
 from .types import INDEX_DTYPE
 
 PathLike = Union[str, os.PathLike]
 
-_FORMAT_VERSION = 1
+#: result.json format: 2 adds the "resilience" block (1 is still readable).
+_FORMAT_VERSION = 2
+_COMPAT_VERSIONS = (1, 2)
+
+#: run.json (mid-run snapshot) format.
+RUN_FORMAT_VERSION = 1
+_RUN_MANIFEST = "run.json"
 
 
+# ----------------------------------------------------------------------
+# atomic-write helpers
+# ----------------------------------------------------------------------
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* via a temp file + ``os.replace``."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def _atomic_save_array(path: Path, array: np.ndarray) -> None:
+    """``np.save`` to *path* via a temp file + ``os.replace``."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        np.save(handle, array)
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path, what: str) -> dict:
+    if not path.exists():
+        raise CheckpointError(f"no {what} under {path.parent}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CheckpointError(f"{what} {path} is truncated or corrupt: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(f"{what} {path} does not hold a JSON object")
+    return payload
+
+
+def _check_version(payload: dict, allowed, what: str) -> int:
+    version = payload.get("format_version")
+    if version not in allowed:
+        raise CheckpointError(
+            f"unsupported {what} format version {version!r} "
+            f"(expected one of {tuple(allowed)})"
+        )
+    return int(version)
+
+
+# ----------------------------------------------------------------------
+# result checkpoints
+# ----------------------------------------------------------------------
 def save_result(result: PartitionResult, directory: PathLike) -> Path:
-    """Write *result* under *directory* (created if missing)."""
+    """Write *result* under *directory* (created if missing), crash-safely."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     payload = {
@@ -50,11 +117,15 @@ def save_result(result: PartitionResult, directory: PathLike) -> Path:
         "sim_time_s": result.sim_time_s,
         "num_sweeps": result.num_sweeps,
         "converged": result.converged,
+        "resilience": result.resilience.to_dict(),
     }
-    (directory / "result.json").write_text(
-        json.dumps(payload, indent=2), encoding="utf-8"
+    # the partition lands first, the manifest last: a crash in between
+    # leaves either the old consistent pair or a refreshed partition with
+    # the old manifest — never a manifest pointing at missing data
+    _atomic_save_array(directory / "partition.npy", result.partition)
+    _atomic_write_text(
+        directory / "result.json", json.dumps(payload, indent=2)
     )
-    np.save(directory / "partition.npy", result.partition)
     return directory
 
 
@@ -63,28 +134,208 @@ def load_result(directory: PathLike) -> PartitionResult:
     directory = Path(directory)
     json_path = directory / "result.json"
     npy_path = directory / "partition.npy"
-    if not json_path.exists() or not npy_path.exists():
-        raise ReproError(f"no saved result under {directory}")
-    payload = json.loads(json_path.read_text(encoding="utf-8"))
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ReproError(
-            f"unsupported result format version {version!r} "
-            f"(expected {_FORMAT_VERSION})"
+    payload = _read_json(json_path, "saved result")
+    _check_version(payload, _COMPAT_VERSIONS, "result")
+    if not npy_path.exists():
+        raise CheckpointError(f"saved result under {directory} lost partition.npy")
+    try:
+        partition = np.load(npy_path).astype(INDEX_DTYPE)
+        timings = PhaseTimings(**payload["timings"])
+        stats = ProposalStats(**payload["proposal_stats"])
+        resilience = ResilienceStats.from_dict(payload.get("resilience", {}))
+        return PartitionResult(
+            partition=partition,
+            num_blocks=int(payload["num_blocks"]),
+            mdl=float(payload["mdl"]),
+            history=[(int(b), float(s)) for b, s in payload["history"]],
+            timings=timings,
+            proposal_stats=stats,
+            total_time_s=float(payload["total_time_s"]),
+            sim_time_s=float(payload["sim_time_s"]),
+            num_sweeps=int(payload["num_sweeps"]),
+            converged=bool(payload["converged"]),
+            algorithm=str(payload["algorithm"]),
+            resilience=resilience,
         )
-    partition = np.load(npy_path).astype(INDEX_DTYPE)
-    timings = PhaseTimings(**payload["timings"])
-    stats = ProposalStats(**payload["proposal_stats"])
-    return PartitionResult(
-        partition=partition,
-        num_blocks=int(payload["num_blocks"]),
-        mdl=float(payload["mdl"]),
-        history=[(int(b), float(s)) for b, s in payload["history"]],
-        timings=timings,
-        proposal_stats=stats,
-        total_time_s=float(payload["total_time_s"]),
-        sim_time_s=float(payload["sim_time_s"]),
-        num_sweeps=int(payload["num_sweeps"]),
-        converged=bool(payload["converged"]),
-        algorithm=str(payload["algorithm"]),
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(
+            f"saved result under {directory} is incomplete: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# run checkpoints (mid-run snapshots)
+# ----------------------------------------------------------------------
+@dataclass
+class RunCheckpoint:
+    """Everything a :class:`GSAPPartitioner` needs to continue a run.
+
+    Attributes
+    ----------
+    plateau:
+        Golden-section plateaus completed so far; doubles as the next
+        RNG stream index for the ``block_merge`` / ``vertex_move``
+        per-plateau streams.
+    snapshots:
+        The three bracket entries of the golden-section search (entries
+        may be ``None`` before the bracket is established).
+    graph_fingerprint:
+        ``{num_vertices, num_edges, total_edge_weight}`` of the graph the
+        run was partitioning; resume refuses a different graph.
+    degradation:
+        ``{"batch_halvings": int, "dense_rebuild": bool}`` — the rung of
+        the degradation ladder the run had reached.
+    """
+
+    plateau: int
+    initial_mdl: float
+    num_sweeps: int
+    history: List[tuple]
+    snapshots: List[Optional[PartitionSnapshot]]
+    graph_fingerprint: Dict[str, int]
+    config: Dict[str, object] = field(default_factory=dict)
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    proposal_stats: ProposalStats = field(default_factory=ProposalStats)
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    degradation: Dict[str, object] = field(
+        default_factory=lambda: {"batch_halvings": 0, "dense_rebuild": False}
     )
+    sim_time_s: float = 0.0
+    algorithm: str = "GSAP"
+
+
+def graph_fingerprint(graph) -> Dict[str, int]:
+    """Identity triple used to match a checkpoint to its graph."""
+    return {
+        "num_vertices": int(graph.num_vertices),
+        "num_edges": int(graph.num_edges),
+        "total_edge_weight": int(graph.total_edge_weight),
+    }
+
+
+def save_run_checkpoint(state: RunCheckpoint, directory: PathLike) -> Path:
+    """Atomically persist a mid-run snapshot under *directory*.
+
+    The bracket bmaps land in ``state-<plateau>.npz`` first; the manifest
+    ``run.json`` referencing that file is replaced last, so the latest
+    *complete* checkpoint always wins.  Superseded state files are
+    cleaned up opportunistically.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    state_name = f"state-{state.plateau:06d}.npz"
+    arrays = {}
+    snapshot_meta: List[Optional[dict]] = []
+    for i, snap in enumerate(state.snapshots):
+        if snap is None:
+            snapshot_meta.append(None)
+        else:
+            snapshot_meta.append(
+                {"num_blocks": int(snap.num_blocks), "mdl": float(snap.mdl)}
+            )
+            arrays[f"snap{i}"] = np.asarray(snap.bmap, dtype=INDEX_DTYPE)
+    tmp = directory / (state_name + ".tmp")
+    with open(tmp, "wb") as handle:
+        np.savez(handle, **arrays)
+    os.replace(tmp, directory / state_name)
+
+    payload = {
+        "format_version": RUN_FORMAT_VERSION,
+        "kind": "gsap-run",
+        "algorithm": state.algorithm,
+        "state_file": state_name,
+        "plateau": state.plateau,
+        "initial_mdl": state.initial_mdl,
+        "num_sweeps": state.num_sweeps,
+        "history": [[int(b), float(s)] for b, s in state.history],
+        "snapshots": snapshot_meta,
+        "graph": dict(state.graph_fingerprint),
+        "config": dict(state.config),
+        "timings": {
+            "block_merge_s": state.timings.block_merge_s,
+            "vertex_move_s": state.timings.vertex_move_s,
+            "golden_section_s": state.timings.golden_section_s,
+        },
+        "proposal_stats": {
+            "merge_proposals": state.proposal_stats.merge_proposals,
+            "merge_proposal_time_s": state.proposal_stats.merge_proposal_time_s,
+            "move_proposals": state.proposal_stats.move_proposals,
+            "move_proposal_time_s": state.proposal_stats.move_proposal_time_s,
+        },
+        "resilience": state.resilience.to_dict(),
+        "degradation": dict(state.degradation),
+        "sim_time_s": state.sim_time_s,
+    }
+    _atomic_write_text(directory / _RUN_MANIFEST, json.dumps(payload, indent=2))
+
+    for stale in directory.glob("state-*.npz"):
+        if stale.name != state_name:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+    return directory
+
+
+def load_run_checkpoint(directory: PathLike) -> RunCheckpoint:
+    """Load the latest complete run checkpoint under *directory*."""
+    directory = Path(directory)
+    payload = _read_json(directory / _RUN_MANIFEST, "run checkpoint")
+    _check_version(payload, (RUN_FORMAT_VERSION,), "run checkpoint")
+    if payload.get("kind") != "gsap-run":
+        raise CheckpointError(
+            f"{directory / _RUN_MANIFEST} is not a gsap-run checkpoint"
+        )
+    state_path = directory / str(payload.get("state_file", ""))
+    if not state_path.exists():
+        raise CheckpointError(
+            f"run checkpoint under {directory} lost its state file "
+            f"{payload.get('state_file')!r}"
+        )
+    try:
+        with np.load(state_path) as bundle:
+            snapshots: List[Optional[PartitionSnapshot]] = []
+            for i, meta in enumerate(payload["snapshots"]):
+                if meta is None:
+                    snapshots.append(None)
+                    continue
+                key = f"snap{i}"
+                if key not in bundle:
+                    raise CheckpointError(
+                        f"state file {state_path} is missing bracket array {key}"
+                    )
+                snapshots.append(
+                    PartitionSnapshot(
+                        num_blocks=int(meta["num_blocks"]),
+                        mdl=float(meta["mdl"]),
+                        bmap=bundle[key].astype(INDEX_DTYPE),
+                    )
+                )
+        return RunCheckpoint(
+            plateau=int(payload["plateau"]),
+            initial_mdl=float(payload["initial_mdl"]),
+            num_sweeps=int(payload["num_sweeps"]),
+            history=[(int(b), float(s)) for b, s in payload["history"]],
+            snapshots=snapshots,
+            graph_fingerprint={
+                k: int(v) for k, v in payload["graph"].items()
+            },
+            config=dict(payload.get("config", {})),
+            timings=PhaseTimings(**payload["timings"]),
+            proposal_stats=ProposalStats(**payload["proposal_stats"]),
+            resilience=ResilienceStats.from_dict(payload.get("resilience", {})),
+            degradation=dict(payload.get("degradation", {})),
+            sim_time_s=float(payload.get("sim_time_s", 0.0)),
+            algorithm=str(payload.get("algorithm", "GSAP")),
+        )
+    except CheckpointError:
+        raise
+    except (KeyError, TypeError, ValueError, OSError) as exc:
+        raise CheckpointError(
+            f"run checkpoint under {directory} is incomplete: {exc}"
+        ) from exc
+
+
+def has_run_checkpoint(directory: PathLike) -> bool:
+    """True when *directory* holds a loadable run checkpoint manifest."""
+    return (Path(directory) / _RUN_MANIFEST).exists()

@@ -87,15 +87,60 @@ def _add_partition(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", help="write the partition as TSV")
     p.add_argument("--zero-based", action="store_true", help="ids start at 0")
+    p.add_argument(
+        "--resume", metavar="DIR",
+        help="resume a killed GSAP run from its checkpoint directory",
+    )
+    p.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="write mid-run checkpoints into DIR (GSAP only)",
+    )
+    p.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="plateaus between checkpoints (default: every plateau when "
+             "--checkpoint/--resume is given)",
+    )
+    p.add_argument(
+        "--fault-plan", metavar="FILE",
+        help="JSON fault plan to inject into the simulated device "
+             "(chaos testing)",
+    )
     p.set_defaults(func=_cmd_partition)
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
     graph = load_edge_list(args.edges, one_based=not args.zero_based)
+    resilience_changes = {}
+    if args.checkpoint_every:
+        resilience_changes["checkpoint_every"] = args.checkpoint_every
     config = SBPConfig(seed=args.seed)
+    if resilience_changes:
+        config = config.replace(
+            resilience=config.resilience.replace(**resilience_changes)
+        )
     partitioner = make_partitioner(args.algo, config)
+    is_gsap = args.algo == "GSAP"
+    if (args.resume or args.checkpoint) and not is_gsap:
+        print(
+            f"--resume/--checkpoint are only supported for GSAP, not {args.algo}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.fault_plan:
+        from .gpusim.device import get_default_device
+        from .resilience import FaultPlan, install_fault_injector
+
+        plan = FaultPlan.from_json_file(args.fault_plan)
+        device = getattr(partitioner, "device", None) or get_default_device()
+        install_fault_injector(device, plan)
+        print(f"installed fault plan with {len(plan)} fault(s)")
     t0 = time.perf_counter()
-    result = partitioner.partition(graph)
+    if is_gsap:
+        result = partitioner.partition(
+            graph, resume_from=args.resume, checkpoint_dir=args.checkpoint
+        )
+    else:
+        result = partitioner.partition(graph)
     elapsed = time.perf_counter() - t0
     print(f"algorithm      : {result.algorithm}")
     print(f"vertices/edges : {graph.num_vertices} / {graph.num_edges}")
@@ -104,6 +149,17 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     print(f"wall time      : {elapsed:.2f}s")
     if result.sim_time_s:
         print(f"sim device time: {result.sim_time_s * 1e3:.1f}ms")
+    res = result.resilience
+    if res.faults_absorbed or res.resumed_from or res.checkpoints_written:
+        print(
+            f"resilience     : {res.faults_absorbed} fault(s) absorbed, "
+            f"{res.retries} retry(ies), {len(res.degradations)} "
+            f"degradation(s), {res.checkpoints_written} checkpoint(s)"
+        )
+        if res.resumed_from:
+            print(f"resumed from   : {res.resumed_from}")
+        for event in res.degradations:
+            print(f"  degraded: {event}")
     if args.truth:
         truth = load_truth_partition(
             args.truth, num_vertices=graph.num_vertices,

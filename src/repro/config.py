@@ -16,6 +16,81 @@ from .errors import ConfigError
 
 
 @dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-tolerance knobs for long partitioning runs.
+
+    Parameters
+    ----------
+    max_attempts:
+        Attempts per plateau before a fault escalates (>= 1; 1 disables
+        retries).
+    base_delay_s / backoff_factor / max_delay_s / jitter:
+        Exponential-backoff schedule between attempts; the default base
+        delay is tiny because the simulated device recovers instantly —
+        production deployments raise it.
+    fault_budget:
+        Total device faults one run may absorb (across retries and
+        degradations) before giving up with ``RetryExhaustedError``.
+    checkpoint_every:
+        Write a run checkpoint every N golden-section plateaus when a
+        checkpoint directory is given (0 disables periodic snapshots).
+    degrade_on_oom:
+        Allow the degradation ladder on persistent out-of-memory faults:
+        halve the vertex-move batch size (up to ``max_batch_halvings``
+        times), then fall back to the host dense-blockmodel rebuild when
+        ``dense_fallback`` is set.
+    best_effort:
+        Return the best-so-far partition (``converged=False``) when the
+        plateau budget is exhausted instead of raising
+        ``ConvergenceError``.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.001
+    backoff_factor: float = 2.0
+    max_delay_s: float = 0.1
+    jitter: float = 0.1
+    fault_budget: int = 32
+    checkpoint_every: int = 0
+    degrade_on_oom: bool = True
+    max_batch_halvings: int = 3
+    dense_fallback: bool = True
+    best_effort: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be >= 1, got {self.max_attempts!r}"
+            )
+        for name in ("base_delay_s", "max_delay_s"):
+            value = getattr(self, name)
+            if value < 0 or not math.isfinite(value):
+                raise ConfigError(f"{name} must be >= 0 and finite, got {value!r}")
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+        if not (0.0 <= self.jitter < 1.0):
+            raise ConfigError(f"jitter must lie in [0, 1), got {self.jitter!r}")
+        if self.fault_budget < 0:
+            raise ConfigError(
+                f"fault_budget must be >= 0, got {self.fault_budget!r}"
+            )
+        if self.checkpoint_every < 0:
+            raise ConfigError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every!r}"
+            )
+        if self.max_batch_halvings < 0:
+            raise ConfigError(
+                f"max_batch_halvings must be >= 0, got {self.max_batch_halvings!r}"
+            )
+
+    def replace(self, **changes: object) -> "ResilienceConfig":
+        """Return a copy with *changes* applied (validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class SBPConfig:
     """Stochastic-block-partitioning parameters (paper Table 2).
 
@@ -49,6 +124,9 @@ class SBPConfig:
     seed:
         Master RNG seed; every stochastic component derives its stream
         from this value, making runs reproducible.
+    resilience:
+        Fault-tolerance knobs (:class:`ResilienceConfig`); a plain dict
+        is accepted and coerced.
     """
 
     num_blocks_reduction_rate: float = 0.4
@@ -61,8 +139,18 @@ class SBPConfig:
     beta: float = 3.0
     min_blocks: int = 1
     seed: int = 0
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
+        if isinstance(self.resilience, dict):
+            object.__setattr__(
+                self, "resilience", ResilienceConfig(**self.resilience)
+            )
+        elif not isinstance(self.resilience, ResilienceConfig):
+            raise ConfigError(
+                "resilience must be a ResilienceConfig or dict, got "
+                f"{type(self.resilience).__name__}"
+            )
         if not (0.0 < self.num_blocks_reduction_rate < 1.0):
             raise ConfigError(
                 "num_blocks_reduction_rate must lie in (0, 1), got "

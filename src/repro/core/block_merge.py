@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 
@@ -128,12 +128,15 @@ def run_block_merge_phase(
     target_num_blocks: int,
     config: SBPConfig,
     rng: np.random.Generator,
+    rebuild_fn: Callable[..., BlockmodelCSR] = rebuild_blockmodel,
 ) -> BlockMergeOutcome:
     """Merge the current partition down to *target_num_blocks* blocks.
 
     Proposal rounds repeat until the target is reached (one round almost
     always suffices since every block proposes; chains can fall short by
-    a few merges on adversarial proposals).
+    a few merges on adversarial proposals).  *rebuild_fn* is the
+    blockmodel rebuild used after each merge round (the resilience
+    ladder substitutes the host dense path under memory pressure).
     """
     if target_num_blocks < 1:
         raise PartitionError(f"target_num_blocks must be >= 1, got {target_num_blocks}")
@@ -166,7 +169,7 @@ def run_block_merge_phase(
             bmap, num_blocks, best_delta, best_proposal,
             num_blocks - target_num_blocks,
         )
-        blockmodel = rebuild_blockmodel(device, graph, bmap, num_blocks, PHASE)
+        blockmodel = rebuild_fn(device, graph, bmap, num_blocks, PHASE)
         if applied == 0:
             raise PartitionError(
                 "block-merge made no progress; proposals degenerate"

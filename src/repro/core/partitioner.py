@@ -7,6 +7,19 @@ batched async-Gibbs vertex moves until the MDL plateaus, and (3) feeds
 the plateau into the golden-section search, stopping when the search
 brackets collapse on the optimal block count.
 
+Resilience
+----------
+Long runs survive device faults: every plateau executes under a
+:class:`~repro.resilience.RetryPolicy` (exponential backoff + jitter,
+a per-run fault budget), repeated out-of-memory faults walk a
+degradation ladder (halve the vertex-move batch size, then fall back to
+the host dense-blockmodel rebuild), and
+``partition(graph, checkpoint_dir=...)`` writes atomic mid-run
+snapshots a killed run resumes from via ``resume_from=...`` — reaching,
+for the same seed, the identical final partition as an uninterrupted
+run.  Each attempt re-derives its RNG streams from
+``(seed, phase, plateau)``, so retries and resumes stay deterministic.
+
 Usage
 -----
 >>> from repro import GSAPPartitioner, load_dataset
@@ -18,27 +31,75 @@ Usage
 
 from __future__ import annotations
 
+import os
 import time
-from typing import Optional
+from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
 from ..blockmodel.entropy import description_length
-from ..blockmodel.update import rebuild_blockmodel
+from ..blockmodel.update import rebuild_blockmodel, rebuild_blockmodel_dense
 from ..config import SBPConfig
-from ..errors import PartitionError
+from ..errors import (
+    CheckpointError,
+    ConvergenceError,
+    DeviceMemoryError,
+    PartitionError,
+    RetryExhaustedError,
+)
 from ..graph.csr import DiGraphCSR
 from ..gpusim.device import Device, get_default_device
 from ..logging_util import get_logger
+from ..resilience.retry import (
+    FaultBudget,
+    ResilienceStats,
+    RetryPolicy,
+    with_retries,
+)
 from ..rng import StreamFactory
 from ..types import INDEX_DTYPE
-from .block_merge import run_block_merge_phase
+from .block_merge import BlockMergeOutcome, run_block_merge_phase
 from .golden_section import GoldenSectionSearch
 from .result import PartitionResult
 from .state import PartitionSnapshot, PhaseTimings, ProposalStats
-from .vertex_move import run_vertex_move_phase
+from .vertex_move import VertexMoveOutcome, run_vertex_move_phase
+
+PathLike = Union[str, os.PathLike]
 
 logger = get_logger("gsap")
+
+
+class _Degradation:
+    """Current rung of the OOM degradation ladder."""
+
+    def __init__(self, batch_halvings: int = 0, dense_rebuild: bool = False):
+        self.batch_halvings = batch_halvings
+        self.dense_rebuild = dense_rebuild
+
+    def effective_config(self, config: SBPConfig) -> SBPConfig:
+        if self.batch_halvings == 0:
+            return config
+        return config.replace(
+            num_batches_for_MCMC=(
+                config.num_batches_for_MCMC * 2 ** self.batch_halvings
+            )
+        )
+
+    def rebuild_fn(self) -> Callable:
+        return rebuild_blockmodel_dense if self.dense_rebuild else rebuild_blockmodel
+
+    def to_dict(self) -> dict:
+        return {
+            "batch_halvings": self.batch_halvings,
+            "dense_rebuild": self.dense_rebuild,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "_Degradation":
+        return cls(
+            batch_halvings=int(payload.get("batch_halvings", 0)),
+            dense_rebuild=bool(payload.get("dense_rebuild", False)),
+        )
 
 
 class GSAPPartitioner:
@@ -47,13 +108,18 @@ class GSAPPartitioner:
     Parameters
     ----------
     config:
-        SBP parameters; defaults to paper Table 2.
+        SBP parameters; defaults to paper Table 2.  ``config.resilience``
+        controls retries, the fault budget, the degradation ladder, and
+        checkpoint cadence.
     device:
         Simulated device to execute on; defaults to the process-wide
         A4000 model.
     max_plateaus:
         Safety cap on golden-section iterations (a run needs roughly
-        ``log(V)`` of them; the default is generous).
+        ``log(V)`` of them; the default is generous).  Exhausting it
+        raises :class:`~repro.errors.ConvergenceError` unless
+        ``config.resilience.best_effort`` opts into returning the
+        incumbent partition instead.
     """
 
     name = "GSAP"
@@ -69,8 +135,148 @@ class GSAPPartitioner:
         self.max_plateaus = max_plateaus
 
     # ------------------------------------------------------------------
-    def partition(self, graph: DiGraphCSR) -> PartitionResult:
-        """Run full SBP on *graph* and return the optimal partition found."""
+    def _retry_policy(self) -> RetryPolicy:
+        rcfg = self.config.resilience
+        return RetryPolicy(
+            max_attempts=rcfg.max_attempts,
+            base_delay_s=rcfg.base_delay_s,
+            backoff_factor=rcfg.backoff_factor,
+            max_delay_s=rcfg.max_delay_s,
+            jitter=rcfg.jitter,
+        )
+
+    def _run_plateau(
+        self,
+        graph: DiGraphCSR,
+        resume: PartitionSnapshot,
+        target: int,
+        threshold: float,
+        initial_mdl: float,
+        plateau_idx: int,
+        streams: StreamFactory,
+        degradation: _Degradation,
+        timings: PhaseTimings,
+    ) -> Tuple[BlockMergeOutcome, VertexMoveOutcome]:
+        """One attempt of one plateau: rebuild, merge down, vertex-move.
+
+        RNG generators are re-derived from ``(seed, phase, plateau_idx)``
+        on every call, so a retried attempt replays identically and a
+        fault-free run is indistinguishable from a retried one.
+        """
+        config = degradation.effective_config(self.config)
+        rebuild_fn = degradation.rebuild_fn()
+        device = self.device
+
+        t0 = time.perf_counter()
+        bmap = resume.bmap.copy()
+        blockmodel = rebuild_fn(
+            device, graph, bmap, resume.num_blocks, "block_merge"
+        )
+        merge = run_block_merge_phase(
+            device, graph, blockmodel, bmap, target, config,
+            streams.get("block_merge", plateau_idx), rebuild_fn,
+        )
+        timings.block_merge_s += time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        move = run_vertex_move_phase(
+            device, graph, merge.blockmodel, merge.bmap, config,
+            streams.get("vertex_move", plateau_idx),
+            threshold, initial_mdl_scale=initial_mdl, rebuild_fn=rebuild_fn,
+        )
+        timings.vertex_move_s += time.perf_counter() - t0
+        return merge, move
+
+    def _run_plateau_resilient(
+        self,
+        graph: DiGraphCSR,
+        resume: PartitionSnapshot,
+        target: int,
+        threshold: float,
+        initial_mdl: float,
+        plateau_idx: int,
+        streams: StreamFactory,
+        degradation: _Degradation,
+        timings: PhaseTimings,
+        stats: ResilienceStats,
+        budget: FaultBudget,
+    ) -> Tuple[BlockMergeOutcome, VertexMoveOutcome]:
+        """Run a plateau under retries; escalate persistent OOM down the
+        degradation ladder instead of aborting."""
+        rcfg = self.config.resilience
+        policy = self._retry_policy()
+        while True:
+            try:
+                return with_retries(
+                    lambda attempt: self._run_plateau(
+                        graph, resume, target, threshold, initial_mdl,
+                        plateau_idx, streams, degradation, timings,
+                    ),
+                    policy,
+                    seed=self.config.seed,
+                    label=f"plateau {plateau_idx}",
+                    stats=stats,
+                    budget=budget,
+                    logger=logger,
+                )
+            except RetryExhaustedError as exc:
+                if budget.consumed > budget.limit:
+                    raise  # run-wide fault budget blown: do not degrade
+                cause = exc.last_error
+                if not (
+                    rcfg.degrade_on_oom
+                    and isinstance(cause, DeviceMemoryError)
+                ):
+                    raise
+                if degradation.batch_halvings < rcfg.max_batch_halvings:
+                    degradation.batch_halvings += 1
+                    eff = degradation.effective_config(self.config)
+                    event = (
+                        f"plateau {plateau_idx}: persistent OOM; halved "
+                        f"vertex-move batch size (now "
+                        f"{eff.num_batches_for_MCMC} batches)"
+                    )
+                elif rcfg.dense_fallback and not degradation.dense_rebuild:
+                    degradation.dense_rebuild = True
+                    event = (
+                        f"plateau {plateau_idx}: OOM survived batch "
+                        f"halving; falling back to host dense rebuild"
+                    )
+                else:
+                    raise
+                stats.record_degradation(event)
+                logger.warning("degrading: %s", event)
+
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        graph: DiGraphCSR,
+        *,
+        resume_from: Optional[PathLike] = None,
+        checkpoint_dir: Optional[PathLike] = None,
+    ) -> PartitionResult:
+        """Run full SBP on *graph* and return the optimal partition found.
+
+        Parameters
+        ----------
+        resume_from:
+            Directory holding a run checkpoint written by a previous
+            (killed) invocation; the run continues from its latest
+            plateau.  The graph must match the checkpointed fingerprint.
+        checkpoint_dir:
+            Directory to write mid-run snapshots into, every
+            ``config.resilience.checkpoint_every`` plateaus (every
+            plateau when that is 0 but a directory is given).  Defaults
+            to *resume_from* when resuming, so one directory carries a
+            run across any number of kills.
+        """
+        from ..checkpoint import (
+            RunCheckpoint,
+            graph_fingerprint,
+            load_run_checkpoint,
+            save_run_checkpoint,
+        )
+
         if graph.num_vertices == 0:
             return PartitionResult(
                 partition=np.empty(0, dtype=INDEX_DTYPE),
@@ -79,73 +285,141 @@ class GSAPPartitioner:
                 algorithm=self.name,
             )
         config = self.config
+        rcfg = config.resilience
         device = self.device
         streams = StreamFactory(config.seed)
-        timings = PhaseTimings()
-        stats = ProposalStats()
+        stats = ResilienceStats()
+        budget = FaultBudget(rcfg.fault_budget)
+        degradation = _Degradation()
+        sim_offset = 0.0
         sim_start = device.sim_time_s
         run_start = time.perf_counter()
 
         num_vertices = graph.num_vertices
         total_weight = graph.total_edge_weight
+        fingerprint = graph_fingerprint(graph)
 
-        # initial partition: every vertex its own block
-        bmap = np.arange(num_vertices, dtype=INDEX_DTYPE)
-        blockmodel = rebuild_blockmodel(
-            device, graph, bmap, num_vertices, "block_merge"
-        )
-        initial_mdl = description_length(blockmodel, num_vertices, total_weight)
         search = GoldenSectionSearch(
             reduction_rate=config.num_blocks_reduction_rate,
             min_blocks=config.min_blocks,
         )
-        search.update(
-            PartitionSnapshot(num_blocks=num_vertices, mdl=initial_mdl, bmap=bmap)
-        )
-
+        timings = PhaseTimings()
+        prop_stats = ProposalStats()
         total_sweeps = 0
-        converged = True
         plateaus = 0
+
+        if resume_from is not None:
+            ck = load_run_checkpoint(resume_from)
+            if ck.graph_fingerprint != fingerprint:
+                raise CheckpointError(
+                    f"checkpoint under {resume_from} was written for a "
+                    f"different graph ({ck.graph_fingerprint} != {fingerprint})"
+                )
+            if ck.config and ck.config.get("seed") != config.seed:
+                logger.warning(
+                    "resuming with seed %s but checkpoint was written with "
+                    "seed %s; the continued trajectory will differ",
+                    config.seed, ck.config.get("seed"),
+                )
+            search.snapshots = list(ck.snapshots)
+            search.history = [tuple(h) for h in ck.history]
+            plateaus = ck.plateau
+            initial_mdl = ck.initial_mdl
+            total_sweeps = ck.num_sweeps
+            timings = ck.timings
+            prop_stats = ck.proposal_stats
+            stats = ck.resilience
+            stats.resumed_from = str(resume_from)
+            degradation = _Degradation.from_dict(ck.degradation)
+            sim_offset = ck.sim_time_s
+            if checkpoint_dir is None:
+                checkpoint_dir = resume_from
+            logger.info(
+                "resumed from %s at plateau %d (B=%s)",
+                resume_from, plateaus,
+                search.best.num_blocks if search.best else "?",
+            )
+        else:
+            # initial partition: every vertex its own block (the initial
+            # rebuild runs device kernels, so it retries like a phase)
+            bmap0 = np.arange(num_vertices, dtype=INDEX_DTYPE)
+
+            def build_initial(_attempt: int) -> float:
+                blockmodel = degradation.rebuild_fn()(
+                    device, graph, bmap0, num_vertices, "block_merge"
+                )
+                return description_length(blockmodel, num_vertices, total_weight)
+
+            initial_mdl = with_retries(
+                build_initial, self._retry_policy(), seed=config.seed,
+                label="initial rebuild", stats=stats, budget=budget,
+                logger=logger,
+            )
+            search.update(
+                PartitionSnapshot(
+                    num_blocks=num_vertices, mdl=initial_mdl, bmap=bmap0
+                )
+            )
+
+        checkpoint_every = rcfg.checkpoint_every
+        if checkpoint_dir is not None and checkpoint_every == 0:
+            checkpoint_every = 1
+
+        def write_checkpoint() -> None:
+            save_run_checkpoint(
+                RunCheckpoint(
+                    plateau=plateaus,
+                    initial_mdl=initial_mdl,
+                    num_sweeps=total_sweeps,
+                    history=list(search.history),
+                    snapshots=list(search.snapshots),
+                    graph_fingerprint=fingerprint,
+                    config={"seed": config.seed},
+                    timings=timings,
+                    proposal_stats=prop_stats,
+                    resilience=stats,
+                    degradation=degradation.to_dict(),
+                    sim_time_s=device.sim_time_s - sim_start + sim_offset,
+                    algorithm=self.name,
+                ),
+                checkpoint_dir,
+            )
+            stats.checkpoints_written += 1
+
+        converged = True
         while not search.done():
-            plateaus += 1
-            if plateaus > self.max_plateaus:
+            if plateaus + 1 > self.max_plateaus:
                 converged = False
+                if not rcfg.best_effort:
+                    raise ConvergenceError(
+                        f"golden-section search did not collapse within "
+                        f"{self.max_plateaus} plateaus (best so far: "
+                        f"B={search.best.num_blocks if search.best else '?'}); "
+                        f"set config.resilience.best_effort for the "
+                        f"incumbent partition instead"
+                    )
                 logger.warning("plateau budget exhausted; returning incumbent")
                 break
+            plateau_idx = plateaus
+            plateaus += 1
 
             t0 = time.perf_counter()
             target, resume = search.next_target()
             timings.golden_section_s += time.perf_counter() - t0
-
-            # resume from the chosen snapshot (may require a rebuild when
-            # jumping back to an older bracket endpoint)
-            t0 = time.perf_counter()
-            bmap = resume.bmap.copy()
-            blockmodel = rebuild_blockmodel(
-                device, graph, bmap, resume.num_blocks, "block_merge"
-            )
-            merge = run_block_merge_phase(
-                device, graph, blockmodel, bmap, target, config,
-                streams.next_in_sequence("block_merge"),
-            )
-            timings.block_merge_s += time.perf_counter() - t0
-            stats.merge_proposals += merge.num_proposals_evaluated
-            stats.merge_proposal_time_s += merge.proposal_time_s
 
             threshold = (
                 config.delta_entropy_threshold1
                 if search.threshold_regime() == 1
                 else config.delta_entropy_threshold2
             )
-            t0 = time.perf_counter()
-            move = run_vertex_move_phase(
-                device, graph, merge.blockmodel, merge.bmap, config,
-                streams.next_in_sequence("vertex_move"),
-                threshold, initial_mdl_scale=initial_mdl,
+            merge, move = self._run_plateau_resilient(
+                graph, resume, target, threshold, initial_mdl, plateau_idx,
+                streams, degradation, timings, stats, budget,
             )
-            timings.vertex_move_s += time.perf_counter() - t0
-            stats.move_proposals += move.num_proposals
-            stats.move_proposal_time_s += move.proposal_time_s
+            prop_stats.merge_proposals += merge.num_proposals_evaluated
+            prop_stats.merge_proposal_time_s += merge.proposal_time_s
+            prop_stats.move_proposals += move.num_proposals
+            prop_stats.move_proposal_time_s += move.proposal_time_s
             total_sweeps += move.num_sweeps
 
             t0 = time.perf_counter()
@@ -159,22 +433,32 @@ class GSAPPartitioner:
                 "plateau %d: B=%d MDL=%.2f (%d sweeps)",
                 plateaus, merge.num_blocks, move.mdl, move.num_sweeps,
             )
+            if (
+                checkpoint_dir is not None
+                and checkpoint_every > 0
+                and plateaus % checkpoint_every == 0
+            ):
+                write_checkpoint()
 
         best = search.best
         if best is None:
             raise PartitionError("search finished without any evaluated partition")
+        if checkpoint_dir is not None:
+            # final snapshot so a post-mortem resume is a no-op continue
+            write_checkpoint()
         return PartitionResult(
             partition=best.bmap,
             num_blocks=best.num_blocks,
             mdl=best.mdl,
             history=list(search.history),
             timings=timings,
-            proposal_stats=stats,
+            proposal_stats=prop_stats,
             total_time_s=time.perf_counter() - run_start,
-            sim_time_s=device.sim_time_s - sim_start,
+            sim_time_s=device.sim_time_s - sim_start + sim_offset,
             num_sweeps=total_sweeps,
             converged=converged,
             algorithm=self.name,
+            resilience=stats,
         )
 
 

@@ -8,6 +8,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..graph.validation import densify_partition
+from ..resilience.retry import ResilienceStats
 from ..types import IndexArray
 from .state import PhaseTimings, ProposalStats
 
@@ -41,6 +42,9 @@ class PartitionResult:
         False if an iteration budget stopped the run early.
     algorithm:
         Name of the partitioner that produced the result.
+    resilience:
+        What the fault-tolerance machinery did during the run (retries,
+        absorbed faults, degradations, checkpoints).
     """
 
     partition: IndexArray
@@ -54,6 +58,7 @@ class PartitionResult:
     num_sweeps: int = 0
     converged: bool = True
     algorithm: str = ""
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     def __post_init__(self) -> None:
         self.partition = densify_partition(np.asarray(self.partition))

@@ -30,6 +30,12 @@ from ..errors import PartitionError
 from ..graph.csr import DiGraphCSR
 from ..graph.streaming import EdgeBatch, cumulative_graphs
 from ..gpusim.device import Device, get_default_device
+from ..resilience.retry import (
+    FaultBudget,
+    ResilienceStats,
+    RetryPolicy,
+    with_retries,
+)
 from ..rng import StreamFactory
 from ..types import INDEX_DTYPE, IndexArray
 from .partitioner import GSAPPartitioner
@@ -91,17 +97,39 @@ class StreamingGSAP:
         self.config = config or SBPConfig()
         self.device = device or get_default_device()
         self.research_interval = research_interval
+        #: resilience stats of the warm (non-full-search) stages of the
+        #: most recent :meth:`partition_stream` call
+        self.resilience_stats = ResilienceStats()
 
     def partition_stream(
         self, batches: Iterable[EdgeBatch], num_vertices: int
     ) -> List[StreamingStageResult]:
-        """Consume the stream; returns one result per stage."""
+        """Consume the stream; returns one result per stage.
+
+        Each warm stage's assign-and-refine step runs under the
+        configured retry policy: an attempt that hits a transient device
+        fault is replayed from the stage's entry partition with freshly
+        derived RNG streams, so a retried stream is bit-identical to an
+        undisturbed one.
+        """
         config = self.config
+        rcfg = config.resilience
         device = self.device
         streams = StreamFactory(config.seed)
+        policy = RetryPolicy(
+            max_attempts=rcfg.max_attempts,
+            base_delay_s=rcfg.base_delay_s,
+            backoff_factor=rcfg.backoff_factor,
+            max_delay_s=rcfg.max_delay_s,
+            jitter=rcfg.jitter,
+        )
+        stats = ResilienceStats()
+        self.resilience_stats = stats
+        budget = FaultBudget(rcfg.fault_budget)
         results: List[StreamingStageResult] = []
         bmap = np.full(num_vertices, -1, dtype=INDEX_DTYPE)
         num_blocks = 0
+        warm_idx = 0
 
         for stage, graph in enumerate(
             cumulative_graphs(iter(batches), num_vertices)
@@ -117,18 +145,30 @@ class StreamingGSAP:
                 num_blocks = result.num_blocks
                 mdl = result.mdl
             else:
-                rng = streams.next_in_sequence("assign")
-                bmap = _assign_new_vertices(
-                    graph, bmap, active, num_blocks, rng
-                )
-                bmap[bmap < 0] = 0  # inactive vertices parked in block 0
-                blockmodel = rebuild_blockmodel(
-                    device, graph, bmap, num_blocks, "vertex_move"
-                )
-                outcome = run_vertex_move_phase(
-                    device, graph, blockmodel, bmap, config,
-                    streams.next_in_sequence("refine"),
-                    config.delta_entropy_threshold2,
+                entry_bmap, entry_blocks, idx = bmap, num_blocks, warm_idx
+                warm_idx += 1
+
+                def refine_stage(_attempt, graph=graph, active=active,
+                                 entry_bmap=entry_bmap,
+                                 entry_blocks=entry_blocks, idx=idx):
+                    stage_bmap = _assign_new_vertices(
+                        graph, entry_bmap, active, entry_blocks,
+                        streams.get("assign", idx),
+                    )
+                    stage_bmap[stage_bmap < 0] = 0  # inactive parked in block 0
+                    blockmodel = rebuild_blockmodel(
+                        device, graph, stage_bmap, entry_blocks, "vertex_move"
+                    )
+                    return run_vertex_move_phase(
+                        device, graph, blockmodel, stage_bmap, config,
+                        streams.get("refine", idx),
+                        config.delta_entropy_threshold2,
+                    )
+
+                outcome = with_retries(
+                    refine_stage, policy, seed=config.seed,
+                    label=f"stream stage {stage}", stats=stats,
+                    budget=budget,
                 )
                 bmap = outcome.bmap
                 mdl = outcome.mdl

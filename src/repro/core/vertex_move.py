@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -163,6 +163,7 @@ def run_vertex_move_phase(
     rng: np.random.Generator,
     threshold: float,
     initial_mdl_scale: Optional[float] = None,
+    rebuild_fn: Callable[..., BlockmodelCSR] = rebuild_blockmodel,
 ) -> VertexMoveOutcome:
     """Run batched async-Gibbs sweeps until the MDL plateaus.
 
@@ -174,6 +175,9 @@ def run_vertex_move_phase(
     initial_mdl_scale:
         The MDL scale the threshold is relative to; defaults to the MDL
         at phase entry.
+    rebuild_fn:
+        Blockmodel rebuild used after each applied batch; the resilience
+        ladder substitutes the host dense path under memory pressure.
     """
     bmap = np.asarray(bmap, dtype=INDEX_DTYPE).copy()
     num_vertices = graph.num_vertices
@@ -214,7 +218,7 @@ def run_vertex_move_phase(
             if np.any(accept):
                 bmap[batch[accept]] = prop.proposals[accept]
                 accepted_total += int(accept.sum())
-                blockmodel = rebuild_blockmodel(
+                blockmodel = rebuild_fn(
                     device, graph, bmap, blockmodel.num_blocks, PHASE
                 )
         new_mdl = description_length(blockmodel, num_vertices, total_weight)
@@ -237,4 +241,54 @@ def run_vertex_move_phase(
         num_proposals=proposals_total,
         proposal_time_s=proposal_time,
         converged=converged,
+    )
+
+
+def run_vertex_move_phase_resilient(
+    device: Device,
+    graph: DiGraphCSR,
+    blockmodel: BlockmodelCSR,
+    bmap: IndexArray,
+    config: SBPConfig,
+    rng_factory: Callable[[], np.random.Generator],
+    threshold: float,
+    initial_mdl_scale: Optional[float] = None,
+    rebuild_fn: Callable[..., BlockmodelCSR] = rebuild_blockmodel,
+    *,
+    stats=None,
+    budget=None,
+    label: str = "vertex_move",
+) -> VertexMoveOutcome:
+    """Retry-wrapped :func:`run_vertex_move_phase`.
+
+    Each attempt restarts the whole phase from the entry ``(blockmodel,
+    bmap)`` with a *fresh* generator from ``rng_factory`` — a partially
+    consumed generator from a faulted attempt must never be reused, or a
+    retried run would diverge from a fault-free one.  Transient device
+    faults (including injected ones) are absorbed per
+    ``config.resilience``; persistent ones surface as
+    :class:`~repro.errors.RetryExhaustedError`.
+    """
+    from ..resilience.retry import RetryPolicy, with_retries
+
+    rcfg = config.resilience
+    policy = RetryPolicy(
+        max_attempts=rcfg.max_attempts,
+        base_delay_s=rcfg.base_delay_s,
+        backoff_factor=rcfg.backoff_factor,
+        max_delay_s=rcfg.max_delay_s,
+        jitter=rcfg.jitter,
+    )
+    entry_bmap = np.asarray(bmap, dtype=INDEX_DTYPE)
+
+    def attempt(_attempt: int) -> VertexMoveOutcome:
+        return run_vertex_move_phase(
+            device, graph, blockmodel, entry_bmap.copy(), config,
+            rng_factory(), threshold,
+            initial_mdl_scale=initial_mdl_scale, rebuild_fn=rebuild_fn,
+        )
+
+    return with_retries(
+        attempt, policy, seed=config.seed, label=label,
+        stats=stats, budget=budget,
     )

@@ -47,3 +47,36 @@ class DatasetError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid partitioning-parameter configuration."""
+
+
+class FaultInjected(ReproError):
+    """Marker mixin for errors raised by the deterministic fault injector.
+
+    Concrete injected faults multiply-inherit from this class *and* the
+    device error they imitate (e.g. ``DeviceMemoryError``), so production
+    retry paths treat them exactly like real faults while tests can still
+    distinguish injected ones.
+    """
+
+
+class RetryExhaustedError(ReproError):
+    """A retried operation kept failing past its attempt/fault budget.
+
+    Attributes
+    ----------
+    last_error:
+        The exception raised by the final attempt (``None`` when the
+        run's fault budget was exhausted before another attempt ran).
+    attempts:
+        Number of attempts made before giving up.
+    """
+
+    def __init__(self, message: str, last_error: Exception | None = None,
+                 attempts: int = 0) -> None:
+        super().__init__(message)
+        self.last_error = last_error
+        self.attempts = attempts
+
+
+class CheckpointError(ReproError):
+    """A checkpoint is missing, truncated, or has an unsupported format."""

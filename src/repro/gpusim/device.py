@@ -104,11 +104,18 @@ class KernelCost:
 
 
 class Device:
-    """A simulated GPU: memory accounting, clocks, kernel execution."""
+    """A simulated GPU: memory accounting, clocks, kernel execution.
+
+    A fault injector (:class:`repro.resilience.FaultInjector`) may be
+    assigned to :attr:`fault_injector`; when present it is consulted
+    before every allocation, kernel launch, and transfer, and may raise
+    injected device errors or stall transfers.
+    """
 
     def __init__(self, spec: DeviceSpec = A4000) -> None:
         self.spec = spec
         self.profiler = Profiler()
+        self.fault_injector = None
         self._allocated_bytes = 0
         self._sim_time_s = 0.0
         self._transfer_sim_time_s = 0.0
@@ -122,6 +129,8 @@ class Device:
         """Reserve *nbytes* of device memory; returns an allocation id."""
         if nbytes < 0:
             raise DeviceError(f"cannot allocate negative bytes: {nbytes}")
+        if self.fault_injector is not None:
+            self.fault_injector.on_allocate(nbytes)
         if self._allocated_bytes + nbytes > self.spec.memory_bytes:
             raise DeviceMemoryError(
                 f"device {self.spec.name!r} out of memory: "
@@ -168,6 +177,8 @@ class Device:
         duration = self.spec.kernel_launch_overhead_s + nbytes / (
             self.spec.pcie_bandwidth_gbps * 1e9
         )
+        if self.fault_injector is not None:
+            duration += self.fault_injector.on_transfer(nbytes, direction)
         self._transfer_sim_time_s += duration
         self.profiler.record_transfer(nbytes, direction, duration)
         return duration
@@ -200,6 +211,8 @@ class Device:
             raise KernelLaunchError(
                 f"kernel {name!r} launched with negative work: {cost.work_items}"
             )
+        if self.fault_injector is not None:
+            self.fault_injector.on_kernel(name, phase, cost.resolved_bytes())
         start = time.perf_counter()
         result = body()
         wall = time.perf_counter() - start

@@ -35,7 +35,13 @@ class DeviceArray:
         self._device = device
         self._allocation_id = device.allocate(self._data.nbytes)
         if _transfer:
-            device.charge_transfer(self._data.nbytes, "h2d")
+            try:
+                device.charge_transfer(self._data.nbytes, "h2d")
+            except BaseException:
+                # don't leak simulated memory when the upload faults
+                # (e.g. an injected transfer failure mid-fault-storm)
+                device.free(self._allocation_id)
+                raise
         weakref.finalize(self, device.free, self._allocation_id)
 
     # ------------------------------------------------------------------

@@ -49,6 +49,9 @@ class Stream:
         phase: Optional[str] = None,
     ) -> T:
         """Execute *body* on this stream, advancing its timeline."""
+        injector = getattr(self.device, "fault_injector", None)
+        if injector is not None:
+            injector.on_stream_launch(name, phase)
         before = self.device.sim_time_s
         result = self.device.execute(name, cost, body, phase=phase)
         duration = self.device.sim_time_s - before

@@ -1,0 +1,39 @@
+"""Fault injection, retries, and graceful degradation for long SBP runs.
+
+See ``docs/resilience.md`` for the fault model, the degradation ladder,
+and the mid-run checkpoint format this subsystem relies on.
+"""
+
+from .faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultLogEntry,
+    FaultPlan,
+    FaultSpec,
+    InjectedKernelFault,
+    InjectedMemoryFault,
+    InjectedStreamFault,
+    install_fault_injector,
+)
+from .retry import (
+    FaultBudget,
+    ResilienceStats,
+    RetryPolicy,
+    with_retries,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultLogEntry",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedKernelFault",
+    "InjectedMemoryFault",
+    "InjectedStreamFault",
+    "install_fault_injector",
+    "FaultBudget",
+    "ResilienceStats",
+    "RetryPolicy",
+    "with_retries",
+]

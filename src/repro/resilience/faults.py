@@ -1,0 +1,316 @@
+"""Deterministic fault injection for the simulated device stack.
+
+Long SBP runs die to transient device faults — OOMs, failed kernel
+launches, stalled transfers, broken streams.  This module lets tests and
+chaos runs trigger those faults *deterministically*: a :class:`FaultPlan`
+names which operation index of which fault class should fail, a
+:class:`FaultInjector` installed on a :class:`~repro.gpusim.device.Device`
+counts operations and fires the planned faults, and every fault is an
+exception that multiply-inherits :class:`~repro.errors.FaultInjected`
+plus the device error it imitates, so recovery code cannot tell an
+injected fault from a real one.
+
+Fault classes
+-------------
+``oom``
+    Raises :class:`InjectedMemoryFault` (a ``DeviceMemoryError``) from
+    ``Device.allocate`` or from kernels moving at least ``min_bytes``.
+``kernel``
+    Raises :class:`InjectedKernelFault` (a ``KernelLaunchError``) from
+    ``Device.execute``.
+``transfer_stall``
+    Does not raise; adds ``stall_s`` simulated seconds to a host<->device
+    transfer (the run absorbs it, the sim clock shows it).
+``stream``
+    Raises :class:`InjectedStreamFault` (a ``DeviceError``) from
+    ``Stream.launch``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import (
+    DeviceError,
+    DeviceMemoryError,
+    FaultInjected,
+    KernelLaunchError,
+    ReproError,
+)
+from ..rng import make_rng
+
+PathLike = Union[str, os.PathLike]
+
+FAULT_KINDS = ("oom", "kernel", "transfer_stall", "stream")
+
+
+class InjectedMemoryFault(FaultInjected, DeviceMemoryError):
+    """An injected (simulated) device out-of-memory condition."""
+
+
+class InjectedKernelFault(FaultInjected, KernelLaunchError):
+    """An injected kernel-launch failure."""
+
+
+class InjectedStreamFault(FaultInjected, DeviceError):
+    """An injected stream failure."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    at:
+        0-based operation index (within the fault class's own counter,
+        filtered by *phase* when given) at which the fault fires.
+    count:
+        How many consecutive operations starting at *at* are faulted
+        (``count=2`` models a fault that survives one retry).  Use a
+        large count to model a persistent fault.
+    phase:
+        Only operations tagged with this phase increment the counter and
+        can fire (``None`` matches every phase).  ``oom`` faults on bare
+        allocations (no phase) only match specs with ``phase=None``.
+    min_bytes:
+        For ``oom``: only allocations / kernels moving at least this many
+        bytes can fire.  This is what makes batch-halving degradation
+        *actually* clear the fault — smaller batches move fewer bytes.
+    stall_s:
+        For ``transfer_stall``: simulated seconds added to the transfer.
+    """
+
+    kind: str
+    at: int = 0
+    count: int = 1
+    phase: Optional[str] = None
+    min_bytes: int = 0
+    stall_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.at < 0 or self.count < 1:
+            raise ReproError(
+                f"fault spec needs at >= 0 and count >= 1, got at={self.at} "
+                f"count={self.count}"
+            )
+        if self.min_bytes < 0 or self.stall_s < 0:
+            raise ReproError("min_bytes and stall_s must be non-negative")
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "at": self.at,
+            "count": self.count,
+            "phase": self.phase,
+            "min_bytes": self.min_bytes,
+            "stall_s": self.stall_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultSpec":
+        try:
+            return cls(
+                kind=str(payload["kind"]),
+                at=int(payload.get("at", 0)),
+                count=int(payload.get("count", 1)),
+                phase=payload.get("phase"),
+                min_bytes=int(payload.get("min_bytes", 0)),
+                stall_s=float(payload.get("stall_s", 0.0)),
+            )
+        except KeyError as exc:
+            raise ReproError(f"fault spec missing key: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible set of planned faults (plus the seed that made it)."""
+
+    faults: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def to_dict(self) -> dict:
+        return {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        faults = payload.get("faults")
+        if not isinstance(faults, list):
+            raise ReproError("fault plan needs a 'faults' list")
+        return cls(
+            faults=tuple(FaultSpec.from_dict(f) for f in faults),
+            seed=int(payload.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json_file(cls, path: PathLike) -> "FaultPlan":
+        path = Path(path)
+        if not path.exists():
+            raise ReproError(f"fault plan file not found: {path}")
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise ReproError(f"fault plan {path} is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)
+
+    def save_json(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+        return path
+
+    @classmethod
+    def seeded_random(
+        cls,
+        seed: int,
+        num_faults: int = 4,
+        kinds: Sequence[str] = ("oom", "kernel", "stream"),
+        max_index: int = 200,
+        phases: Sequence[Optional[str]] = (None,),
+    ) -> "FaultPlan":
+        """Generate a deterministic chaos plan from *seed*."""
+        rng = make_rng(seed, "fault_plan")
+        faults = []
+        for _ in range(num_faults):
+            kind = str(rng.choice(list(kinds)))
+            phase = phases[int(rng.integers(0, len(phases)))]
+            spec = FaultSpec(
+                kind=kind,
+                at=int(rng.integers(0, max_index)),
+                count=int(rng.integers(1, 3)),
+                phase=phase,
+                stall_s=0.01 if kind == "transfer_stall" else 0.0,
+            )
+            faults.append(spec)
+        return cls(faults=tuple(faults), seed=seed)
+
+
+@dataclass
+class FaultLogEntry:
+    """One fault that actually fired."""
+
+    kind: str
+    op_index: int
+    phase: Optional[str]
+    detail: str
+
+
+class FaultInjector:
+    """Counts device operations and fires the faults a plan schedules.
+
+    Install with :func:`install_fault_injector` (or assign to
+    ``device.fault_injector``); the device and stream layers consult it
+    on every allocation, kernel launch, and transfer.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        # one counter per (kind, phase-filter) so specs with a phase
+        # filter count only matching operations
+        self._counters: Dict[Tuple[str, Optional[str]], int] = {}
+        self.log: List[FaultLogEntry] = []
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self._counters.clear()
+        self.log.clear()
+
+    @property
+    def faults_fired(self) -> int:
+        return len(self.log)
+
+    def fired_by_kind(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for entry in self.log:
+            out[entry.kind] = out.get(entry.kind, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    def _tick(self, kind: str, phase: Optional[str]) -> List[Tuple[FaultSpec, int]]:
+        """Advance counters for *kind* at *phase*; return firing specs."""
+        fired: List[Tuple[FaultSpec, int]] = []
+        keys = {(kind, None)}
+        if phase is not None:
+            keys.add((kind, phase))
+        for key in keys:
+            index = self._counters.get(key, 0)
+            self._counters[key] = index + 1
+            for spec in self.plan.faults:
+                if spec.kind != kind or spec.phase != key[1]:
+                    continue
+                if spec.at <= index < spec.at + spec.count:
+                    fired.append((spec, index))
+        return fired
+
+    def _record(self, spec: FaultSpec, index: int, phase: Optional[str],
+                detail: str) -> None:
+        self.log.append(
+            FaultLogEntry(kind=spec.kind, op_index=index, phase=phase,
+                          detail=detail)
+        )
+
+    # ------------------------------------------------------------------
+    # hooks called by the device layers
+    # ------------------------------------------------------------------
+    def on_allocate(self, nbytes: int) -> None:
+        """Called by ``Device.allocate`` before reserving memory."""
+        for spec, index in self._tick("oom", None):
+            if nbytes < spec.min_bytes:
+                continue
+            self._record(spec, index, None, f"allocate {nbytes} B")
+            raise InjectedMemoryFault(
+                f"injected OOM at allocation #{index} ({nbytes} bytes)"
+            )
+
+    def on_kernel(self, name: str, phase: Optional[str], nbytes: int) -> None:
+        """Called by ``Device.execute`` before running a kernel body."""
+        for kind in ("kernel", "oom"):
+            for spec, index in self._tick(kind, phase):
+                if kind == "oom" and nbytes < spec.min_bytes:
+                    continue
+                self._record(spec, index, phase, f"kernel {name!r}")
+                if kind == "oom":
+                    raise InjectedMemoryFault(
+                        f"injected OOM at kernel #{index} {name!r} "
+                        f"({nbytes} bytes of scratch)"
+                    )
+                raise InjectedKernelFault(
+                    f"injected launch failure at kernel #{index} {name!r}"
+                )
+
+    def on_transfer(self, nbytes: int, direction: str) -> float:
+        """Called by ``Device.charge_transfer``; returns extra stall seconds."""
+        stall = 0.0
+        for spec, index in self._tick("transfer_stall", None):
+            stall += spec.stall_s
+            self._record(
+                spec, index, None, f"{direction} {nbytes} B stalled {spec.stall_s}s"
+            )
+        return stall
+
+    def on_stream_launch(self, name: str, phase: Optional[str]) -> None:
+        """Called by ``Stream.launch`` before enqueueing a kernel."""
+        for spec, index in self._tick("stream", phase):
+            self._record(spec, index, phase, f"stream kernel {name!r}")
+            raise InjectedStreamFault(
+                f"injected stream failure at launch #{index} {name!r}"
+            )
+
+
+def install_fault_injector(device, plan: FaultPlan) -> FaultInjector:
+    """Attach a fresh injector for *plan* to *device* and return it."""
+    injector = FaultInjector(plan)
+    device.fault_injector = injector
+    return injector

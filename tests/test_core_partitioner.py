@@ -166,8 +166,18 @@ class TestEdgeCases:
         result = partition_graph(graph, fast_config)
         assert result.algorithm == "GSAP"
 
-    def test_plateau_budget(self, fast_config):
+    def test_plateau_budget_raises(self, fast_config):
+        from repro.errors import ConvergenceError
+
         graph, _ = load_dataset("low_low", 120, seed=1)
-        result = GSAPPartitioner(fast_config, max_plateaus=2).partition(graph)
+        with pytest.raises(ConvergenceError):
+            GSAPPartitioner(fast_config, max_plateaus=2).partition(graph)
+
+    def test_plateau_budget_best_effort(self, fast_config):
+        graph, _ = load_dataset("low_low", 120, seed=1)
+        config = fast_config.replace(
+            resilience=fast_config.resilience.replace(best_effort=True)
+        )
+        result = GSAPPartitioner(config, max_plateaus=2).partition(graph)
         assert not result.converged
         assert len(result.partition) == graph.num_vertices
