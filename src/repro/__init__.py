@@ -29,7 +29,7 @@ from .checkpoint import (
     save_result,
     save_run_checkpoint,
 )
-from .config import ResilienceConfig, SBPConfig
+from .config import ObservabilityConfig, ResilienceConfig, SBPConfig
 from .core import (
     GSAPPartitioner,
     PartitionResult,
@@ -69,6 +69,14 @@ from .graph import (
 )
 from .gpusim import A4000, Device, get_default_device
 from .metrics import ari, nmi, pairwise_scores
+from .obs import (
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    build_run_report,
+    write_chrome_trace,
+    write_prometheus,
+)
 
 __version__ = "1.0.0"
 
@@ -84,6 +92,7 @@ __all__ = [
     "StreamingGSAP",
     "SBPConfig",
     "ResilienceConfig",
+    "ObservabilityConfig",
     "GSAPPartitioner",
     "PartitionResult",
     "partition_graph",
@@ -118,5 +127,11 @@ __all__ = [
     "ari",
     "nmi",
     "pairwise_scores",
+    "Observability",
+    "Tracer",
+    "MetricsRegistry",
+    "build_run_report",
+    "write_chrome_trace",
+    "write_prometheus",
     "__version__",
 ]

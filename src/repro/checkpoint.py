@@ -106,6 +106,7 @@ def save_result(result: PartitionResult, directory: PathLike) -> Path:
             "block_merge_s": result.timings.block_merge_s,
             "vertex_move_s": result.timings.vertex_move_s,
             "golden_section_s": result.timings.golden_section_s,
+            "blockmodel_update_s": result.timings.blockmodel_update_s,
         },
         "proposal_stats": {
             "merge_proposals": result.proposal_stats.merge_proposals,
@@ -202,6 +203,9 @@ class RunCheckpoint:
     )
     sim_time_s: float = 0.0
     algorithm: str = "GSAP"
+    #: serialized :meth:`repro.obs.Observability.to_state` payload, so a
+    #: resumed run keeps the spans/metrics captured before the kill.
+    observability: Dict[str, object] = field(default_factory=dict)
 
 
 def graph_fingerprint(graph) -> Dict[str, int]:
@@ -255,6 +259,7 @@ def save_run_checkpoint(state: RunCheckpoint, directory: PathLike) -> Path:
             "block_merge_s": state.timings.block_merge_s,
             "vertex_move_s": state.timings.vertex_move_s,
             "golden_section_s": state.timings.golden_section_s,
+            "blockmodel_update_s": state.timings.blockmodel_update_s,
         },
         "proposal_stats": {
             "merge_proposals": state.proposal_stats.merge_proposals,
@@ -265,6 +270,7 @@ def save_run_checkpoint(state: RunCheckpoint, directory: PathLike) -> Path:
         "resilience": state.resilience.to_dict(),
         "degradation": dict(state.degradation),
         "sim_time_s": state.sim_time_s,
+        "observability": dict(state.observability),
     }
     _atomic_write_text(directory / _RUN_MANIFEST, json.dumps(payload, indent=2))
 
@@ -327,6 +333,7 @@ def load_run_checkpoint(directory: PathLike) -> RunCheckpoint:
             degradation=dict(payload.get("degradation", {})),
             sim_time_s=float(payload.get("sim_time_s", 0.0)),
             algorithm=str(payload.get("algorithm", "GSAP")),
+            observability=dict(payload.get("observability", {})),
         )
     except CheckpointError:
         raise

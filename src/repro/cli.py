@@ -45,7 +45,7 @@ from .graph.io import (
     save_edge_list,
     save_truth_partition,
 )
-from .logging_util import enable_verbose_logging
+from .logging_util import LOG_LEVELS, configure_logging
 from .metrics import nmi
 
 
@@ -105,6 +105,26 @@ def _add_partition(sub: argparse._SubParsersAction) -> None:
         help="JSON fault plan to inject into the simulated device "
              "(chaos testing)",
     )
+    p.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write a Chrome/Perfetto trace of the run (GSAP only); "
+             "enables observability",
+    )
+    p.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write run metrics in Prometheus text format (GSAP only); "
+             "enables observability",
+    )
+    p.add_argument(
+        "--events-out", metavar="FILE",
+        help="write spans + metrics as JSON lines (GSAP only); "
+             "enables observability",
+    )
+    p.add_argument(
+        "--run-report", metavar="FILE",
+        help="write a run report (.json for machine-readable, anything "
+             "else for Markdown)",
+    )
     p.set_defaults(func=_cmd_partition)
 
 
@@ -118,8 +138,20 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         config = config.replace(
             resilience=config.resilience.replace(**resilience_changes)
         )
-    partitioner = make_partitioner(args.algo, config)
     is_gsap = args.algo == "GSAP"
+    wants_obs = bool(args.trace_out or args.metrics_out or args.events_out)
+    if wants_obs and not is_gsap:
+        print(
+            f"--trace-out/--metrics-out/--events-out are only supported "
+            f"for GSAP, not {args.algo}",
+            file=sys.stderr,
+        )
+        return 2
+    if wants_obs or (args.run_report and is_gsap):
+        config = config.replace(
+            observability=config.observability.replace(enabled=True)
+        )
+    partitioner = make_partitioner(args.algo, config)
     if (args.resume or args.checkpoint) and not is_gsap:
         print(
             f"--resume/--checkpoint are only supported for GSAP, not {args.algo}",
@@ -160,6 +192,33 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             print(f"resumed from   : {res.resumed_from}")
         for event in res.degradations:
             print(f"  degraded: {event}")
+    obs = getattr(partitioner, "obs", None)
+    if obs is not None and obs.enabled:
+        from .obs import write_chrome_trace, write_jsonl, write_prometheus
+
+        if args.trace_out:
+            write_chrome_trace(
+                obs.tracer, args.trace_out,
+                metadata={"algorithm": result.algorithm, "seed": args.seed},
+            )
+            print(f"trace written to {args.trace_out} "
+                  f"({len(obs.tracer.spans())} spans)")
+        if args.metrics_out:
+            write_prometheus(obs.metrics, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+        if args.events_out:
+            write_jsonl(args.events_out, obs.tracer, obs.metrics)
+            print(f"events written to {args.events_out}")
+    if args.run_report:
+        from .obs import build_run_report, write_run_report
+
+        profiler = getattr(getattr(partitioner, "device", None),
+                           "profiler", None)
+        report = build_run_report(
+            result, obs=obs, profiler=profiler, dataset=args.edges,
+        )
+        write_run_report(report, args.run_report)
+        print(f"run report written to {args.run_report}")
     if args.truth:
         truth = load_truth_partition(
             args.truth, num_vertices=graph.num_vertices,
@@ -356,7 +415,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="gsap",
         description="GSAP reproduction: GPU-accelerated stochastic graph partitioning",
     )
-    parser.add_argument("-v", "--verbose", action="store_true")
+    parser.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="shorthand for --log-level info",
+    )
+    parser.add_argument(
+        "--log-level", choices=sorted(LOG_LEVELS), default=None,
+        help="attach a stderr log handler at this level",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit logs as JSON lines (implies --log-level info unless set)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_generate(sub)
     _add_partition(sub)
@@ -370,8 +440,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.verbose:
-        enable_verbose_logging()
+    level = args.log_level
+    if level is None and (args.verbose or args.log_json):
+        level = "info"
+    if level is not None:
+        configure_logging(level=level, json_lines=args.log_json)
     return args.func(args)
 
 

@@ -91,6 +91,37 @@ class ResilienceConfig:
 
 
 @dataclass(frozen=True)
+class ObservabilityConfig:
+    """Knobs for the unified tracing + metrics subsystem (:mod:`repro.obs`).
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  Off (the default) costs nothing: every
+        instrumented call site returns before touching any state, and a
+        traced run produces a bit-identical partition to an untraced
+        one (tracing never consumes RNG draws).
+    trace_kernels:
+        Bridge the simulated device's kernel launches into the tracer
+        as leaf spans (one span per launch; the dominant span volume).
+    trace_transfers:
+        Emit spans for host<->device PCIe transfers.
+    track_deltas:
+        Feed per-proposal ΔMDL values into histograms (adds one NumPy
+        bucketing pass per MCMC batch).
+    """
+
+    enabled: bool = False
+    trace_kernels: bool = True
+    trace_transfers: bool = True
+    track_deltas: bool = True
+
+    def replace(self, **changes: object) -> "ObservabilityConfig":
+        """Return a copy with *changes* applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class SBPConfig:
     """Stochastic-block-partitioning parameters (paper Table 2).
 
@@ -127,6 +158,9 @@ class SBPConfig:
     resilience:
         Fault-tolerance knobs (:class:`ResilienceConfig`); a plain dict
         is accepted and coerced.
+    observability:
+        Tracing/metrics knobs (:class:`ObservabilityConfig`); a plain
+        dict is accepted and coerced.  Disabled by default.
     """
 
     num_blocks_reduction_rate: float = 0.4
@@ -140,6 +174,9 @@ class SBPConfig:
     min_blocks: int = 1
     seed: int = 0
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
 
     def __post_init__(self) -> None:
         if isinstance(self.resilience, dict):
@@ -150,6 +187,15 @@ class SBPConfig:
             raise ConfigError(
                 "resilience must be a ResilienceConfig or dict, got "
                 f"{type(self.resilience).__name__}"
+            )
+        if isinstance(self.observability, dict):
+            object.__setattr__(
+                self, "observability", ObservabilityConfig(**self.observability)
+            )
+        elif not isinstance(self.observability, ObservabilityConfig):
+            raise ConfigError(
+                "observability must be an ObservabilityConfig or dict, got "
+                f"{type(self.observability).__name__}"
             )
         if not (0.0 < self.num_blocks_reduction_rate < 1.0):
             raise ConfigError(

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from ..config import SBPConfig
 from ..errors import PartitionError
 from ..gpusim.device import Device
 from ..graph.csr import DiGraphCSR
+from ..obs import NULL_OBS, Observability
 from ..types import INDEX_DTYPE, IndexArray
 from .proposals import propose_block_merges
 
@@ -129,6 +130,7 @@ def run_block_merge_phase(
     config: SBPConfig,
     rng: np.random.Generator,
     rebuild_fn: Callable[..., BlockmodelCSR] = rebuild_blockmodel,
+    obs: Optional[Observability] = None,
 ) -> BlockMergeOutcome:
     """Merge the current partition down to *target_num_blocks* blocks.
 
@@ -137,9 +139,11 @@ def run_block_merge_phase(
     a few merges on adversarial proposals).  *rebuild_fn* is the
     blockmodel rebuild used after each merge round (the resilience
     ladder substitutes the host dense path under memory pressure).
+    *obs* records per-round spans and the merge ΔMDL distribution.
     """
     if target_num_blocks < 1:
         raise PartitionError(f"target_num_blocks must be >= 1, got {target_num_blocks}")
+    obs = obs or NULL_OBS
     bmap = np.asarray(bmap, dtype=INDEX_DTYPE).copy()
     num_blocks = blockmodel.num_blocks
     total_evaluated = 0
@@ -152,24 +156,36 @@ def run_block_merge_phase(
                 f"block-merge failed to reach target {target_num_blocks} "
                 f"from {num_blocks} blocks after {rounds} rounds"
             )
-        t0 = time.perf_counter()
-        batch = propose_block_merges(
-            device, blockmodel, rng, config.num_proposals, PHASE
+        with obs.span("merge_round", "round", round=rounds,
+                      num_blocks=num_blocks, target=target_num_blocks):
+            t0 = time.perf_counter()
+            batch = propose_block_merges(
+                device, blockmodel, rng, config.num_proposals, PHASE
+            )
+            term_sums = precompute_block_term_sums(device, blockmodel, PHASE)
+            delta = merge_delta_batch(
+                device, blockmodel, batch.proposers, batch.proposals, term_sums, PHASE
+            )
+            proposal_time += time.perf_counter() - t0
+            total_evaluated += len(delta)
+            best_delta, best_proposal = select_best_proposals(
+                delta, batch.proposals, num_blocks, config.num_proposals
+            )
+            bmap, num_blocks, applied = apply_merges(
+                bmap, num_blocks, best_delta, best_proposal,
+                num_blocks - target_num_blocks,
+            )
+            blockmodel = rebuild_fn(device, graph, bmap, num_blocks, PHASE)
+        obs.count("merge_rounds_total", help="block-merge proposal rounds")
+        obs.count(
+            "merge_proposals_total", len(delta),
+            help="merge candidates evaluated",
         )
-        term_sums = precompute_block_term_sums(device, blockmodel, PHASE)
-        delta = merge_delta_batch(
-            device, blockmodel, batch.proposers, batch.proposals, term_sums, PHASE
-        )
-        proposal_time += time.perf_counter() - t0
-        total_evaluated += len(delta)
-        best_delta, best_proposal = select_best_proposals(
-            delta, batch.proposals, num_blocks, config.num_proposals
-        )
-        bmap, num_blocks, applied = apply_merges(
-            bmap, num_blocks, best_delta, best_proposal,
-            num_blocks - target_num_blocks,
-        )
-        blockmodel = rebuild_fn(device, graph, bmap, num_blocks, PHASE)
+        if obs.enabled and obs.config.track_deltas:
+            obs.observe_many(
+                "merge_delta_mdl", best_delta,
+                help="best per-block merge ΔMDL (Eqs. 4-6)",
+            )
         if applied == 0:
             raise PartitionError(
                 "block-merge made no progress; proposals degenerate"

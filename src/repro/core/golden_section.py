@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from ..errors import PartitionError
 from .state import PartitionSnapshot
@@ -32,7 +32,13 @@ from .state import PartitionSnapshot
 
 @dataclass
 class GoldenSectionSearch:
-    """Bracketing search driver over (num_blocks, MDL) snapshots."""
+    """Bracketing search driver over (num_blocks, MDL) snapshots.
+
+    ``observer``, when set, is called with every snapshot accepted by
+    :meth:`update` — the observability layer uses it to record the
+    convergence trajectory without the search knowing about metrics.
+    It is excluded from comparison/repr and never serialized.
+    """
 
     reduction_rate: float
     min_blocks: int = 1
@@ -40,6 +46,9 @@ class GoldenSectionSearch:
         default_factory=lambda: [None, None, None]
     )
     history: List[Tuple[int, float]] = field(default_factory=list)
+    observer: Optional[Callable[[PartitionSnapshot], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not (0.0 < self.reduction_rate < 1.0):
@@ -60,6 +69,8 @@ class GoldenSectionSearch:
     def update(self, snapshot: PartitionSnapshot) -> None:
         """Insert a newly-evaluated partition into the bracket."""
         self.history.append((snapshot.num_blocks, snapshot.mdl))
+        if self.observer is not None:
+            self.observer(snapshot)
         incumbent = self.snapshots[1]
         if incumbent is None:
             self.snapshots[1] = snapshot

@@ -50,6 +50,7 @@ from ..errors import (
 from ..graph.csr import DiGraphCSR
 from ..gpusim.device import Device, get_default_device
 from ..logging_util import get_logger
+from ..obs import Observability
 from ..resilience.retry import (
     FaultBudget,
     ResilienceStats,
@@ -120,6 +121,11 @@ class GSAPPartitioner:
         raises :class:`~repro.errors.ConvergenceError` unless
         ``config.resilience.best_effort`` opts into returning the
         incumbent partition instead.
+    observability:
+        Tracing/metrics hub for the run; defaults to one built from
+        ``config.observability`` (disabled by default, at which point
+        every instrumentation call is a no-op and the partition output
+        is bit-identical to an uninstrumented run).
     """
 
     name = "GSAP"
@@ -129,10 +135,14 @@ class GSAPPartitioner:
         config: Optional[SBPConfig] = None,
         device: Optional[Device] = None,
         max_plateaus: int = 128,
+        observability: Optional[Observability] = None,
     ) -> None:
         self.config = config or SBPConfig()
         self.device = device or get_default_device()
         self.max_plateaus = max_plateaus
+        self.obs = observability or Observability.from_config(
+            self.config.observability
+        )
 
     # ------------------------------------------------------------------
     def _retry_policy(self) -> RetryPolicy:
@@ -166,25 +176,44 @@ class GSAPPartitioner:
         config = degradation.effective_config(self.config)
         rebuild_fn = degradation.rebuild_fn()
         device = self.device
+        obs = self.obs
 
         t0 = time.perf_counter()
-        bmap = resume.bmap.copy()
-        blockmodel = rebuild_fn(
-            device, graph, bmap, resume.num_blocks, "block_merge"
-        )
-        merge = run_block_merge_phase(
-            device, graph, blockmodel, bmap, target, config,
-            streams.get("block_merge", plateau_idx), rebuild_fn,
-        )
+        with obs.span("block_merge", "phase", plateau=plateau_idx,
+                      target=target):
+            bmap = resume.bmap.copy()
+            blockmodel = rebuild_fn(
+                device, graph, bmap, resume.num_blocks, "block_merge"
+            )
+            merge = run_block_merge_phase(
+                device, graph, blockmodel, bmap, target, config,
+                streams.get("block_merge", plateau_idx), rebuild_fn,
+                obs=obs,
+            )
         timings.block_merge_s += time.perf_counter() - t0
 
+        # Shim the rebuild so the Fig. 12 update-vs-MCMC split is
+        # measurable: blockmodel_update_s is the rebuild time *inside*
+        # the vertex-move phase (a subset of vertex_move_s).
+        update_spent = [0.0]
+
+        def timed_rebuild(*args, **kwargs):
+            r0 = time.perf_counter()
+            try:
+                return rebuild_fn(*args, **kwargs)
+            finally:
+                update_spent[0] += time.perf_counter() - r0
+
         t0 = time.perf_counter()
-        move = run_vertex_move_phase(
-            device, graph, merge.blockmodel, merge.bmap, config,
-            streams.get("vertex_move", plateau_idx),
-            threshold, initial_mdl_scale=initial_mdl, rebuild_fn=rebuild_fn,
-        )
+        with obs.span("vertex_move", "phase", plateau=plateau_idx):
+            move = run_vertex_move_phase(
+                device, graph, merge.blockmodel, merge.bmap, config,
+                streams.get("vertex_move", plateau_idx),
+                threshold, initial_mdl_scale=initial_mdl,
+                rebuild_fn=timed_rebuild, obs=obs,
+            )
         timings.vertex_move_s += time.perf_counter() - t0
+        timings.blockmodel_update_s += update_spent[0]
         return merge, move
 
     def _run_plateau_resilient(
@@ -218,6 +247,7 @@ class GSAPPartitioner:
                     stats=stats,
                     budget=budget,
                     logger=logger,
+                    obs=self.obs,
                 )
             except RetryExhaustedError as exc:
                 if budget.consumed > budget.limit:
@@ -245,6 +275,11 @@ class GSAPPartitioner:
                 else:
                     raise
                 stats.record_degradation(event)
+                self.obs.count(
+                    "resilience_degradations_total",
+                    help="OOM degradation-ladder steps taken",
+                )
+                self.obs.instant("degradation", "resilience", event=event)
                 logger.warning("degrading: %s", event)
 
     # ------------------------------------------------------------------
@@ -270,13 +305,6 @@ class GSAPPartitioner:
             to *resume_from* when resuming, so one directory carries a
             run across any number of kills.
         """
-        from ..checkpoint import (
-            RunCheckpoint,
-            graph_fingerprint,
-            load_run_checkpoint,
-            save_run_checkpoint,
-        )
-
         if graph.num_vertices == 0:
             return PartitionResult(
                 partition=np.empty(0, dtype=INDEX_DTYPE),
@@ -284,6 +312,43 @@ class GSAPPartitioner:
                 mdl=0.0,
                 algorithm=self.name,
             )
+        obs = self.obs
+        with obs.span(
+            "run", "run",
+            algorithm=self.name,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            seed=self.config.seed,
+        ) as run_span:
+            with obs.attach_device(self.device):
+                result = self._partition_impl(
+                    graph,
+                    resume_from=resume_from,
+                    checkpoint_dir=checkpoint_dir,
+                )
+            run_span.set(
+                num_blocks=result.num_blocks,
+                mdl=result.mdl,
+                plateaus=len(result.history),
+                converged=result.converged,
+            )
+        return result
+
+    def _partition_impl(
+        self,
+        graph: DiGraphCSR,
+        *,
+        resume_from: Optional[PathLike],
+        checkpoint_dir: Optional[PathLike],
+    ) -> PartitionResult:
+        from ..checkpoint import (
+            RunCheckpoint,
+            graph_fingerprint,
+            load_run_checkpoint,
+            save_run_checkpoint,
+        )
+
+        obs = self.obs
         config = self.config
         rcfg = config.resilience
         device = self.device
@@ -303,6 +368,18 @@ class GSAPPartitioner:
             reduction_rate=config.num_blocks_reduction_rate,
             min_blocks=config.min_blocks,
         )
+        if obs.enabled:
+            def _record_snapshot(snap: PartitionSnapshot) -> None:
+                obs.series_append(
+                    "mdl_per_plateau", None, snap.mdl,
+                    help="MDL trajectory over golden-section plateaus",
+                )
+                obs.series_append(
+                    "blocks_per_plateau", None, snap.num_blocks,
+                    help="block count per golden-section step",
+                )
+
+            search.observer = _record_snapshot
         timings = PhaseTimings()
         prop_stats = ProposalStats()
         total_sweeps = 0
@@ -332,6 +409,12 @@ class GSAPPartitioner:
             stats.resumed_from = str(resume_from)
             degradation = _Degradation.from_dict(ck.degradation)
             sim_offset = ck.sim_time_s
+            if ck.observability:
+                obs.load_state(ck.observability)
+            obs.instant(
+                "resume", "checkpoint",
+                path=str(resume_from), plateau=plateaus,
+            )
             if checkpoint_dir is None:
                 checkpoint_dir = resume_from
             logger.info(
@@ -353,7 +436,7 @@ class GSAPPartitioner:
             initial_mdl = with_retries(
                 build_initial, self._retry_policy(), seed=config.seed,
                 label="initial rebuild", stats=stats, budget=budget,
-                logger=logger,
+                logger=logger, obs=obs,
             )
             search.update(
                 PartitionSnapshot(
@@ -381,10 +464,15 @@ class GSAPPartitioner:
                     degradation=degradation.to_dict(),
                     sim_time_s=device.sim_time_s - sim_start + sim_offset,
                     algorithm=self.name,
+                    observability=obs.to_state(),
                 ),
                 checkpoint_dir,
             )
             stats.checkpoints_written += 1
+            obs.count(
+                "checkpoints_written_total",
+                help="run checkpoints written to disk",
+            )
 
         converged = True
         while not search.done():
@@ -403,32 +491,40 @@ class GSAPPartitioner:
             plateau_idx = plateaus
             plateaus += 1
 
-            t0 = time.perf_counter()
-            target, resume = search.next_target()
-            timings.golden_section_s += time.perf_counter() - t0
+            with obs.span("plateau", "plateau", index=plateau_idx) as p_span:
+                t0 = time.perf_counter()
+                with obs.span("golden_section", "phase", plateau=plateau_idx):
+                    target, resume = search.next_target()
+                timings.golden_section_s += time.perf_counter() - t0
 
-            threshold = (
-                config.delta_entropy_threshold1
-                if search.threshold_regime() == 1
-                else config.delta_entropy_threshold2
-            )
-            merge, move = self._run_plateau_resilient(
-                graph, resume, target, threshold, initial_mdl, plateau_idx,
-                streams, degradation, timings, stats, budget,
-            )
-            prop_stats.merge_proposals += merge.num_proposals_evaluated
-            prop_stats.merge_proposal_time_s += merge.proposal_time_s
-            prop_stats.move_proposals += move.num_proposals
-            prop_stats.move_proposal_time_s += move.proposal_time_s
-            total_sweeps += move.num_sweeps
-
-            t0 = time.perf_counter()
-            search.update(
-                PartitionSnapshot(
-                    num_blocks=merge.num_blocks, mdl=move.mdl, bmap=move.bmap
+                threshold = (
+                    config.delta_entropy_threshold1
+                    if search.threshold_regime() == 1
+                    else config.delta_entropy_threshold2
                 )
-            )
-            timings.golden_section_s += time.perf_counter() - t0
+                merge, move = self._run_plateau_resilient(
+                    graph, resume, target, threshold, initial_mdl, plateau_idx,
+                    streams, degradation, timings, stats, budget,
+                )
+                prop_stats.merge_proposals += merge.num_proposals_evaluated
+                prop_stats.merge_proposal_time_s += merge.proposal_time_s
+                prop_stats.move_proposals += move.num_proposals
+                prop_stats.move_proposal_time_s += move.proposal_time_s
+                total_sweeps += move.num_sweeps
+
+                t0 = time.perf_counter()
+                with obs.span("golden_section", "phase", plateau=plateau_idx):
+                    search.update(
+                        PartitionSnapshot(
+                            num_blocks=merge.num_blocks, mdl=move.mdl,
+                            bmap=move.bmap,
+                        )
+                    )
+                timings.golden_section_s += time.perf_counter() - t0
+                p_span.set(
+                    target=target, num_blocks=merge.num_blocks,
+                    mdl=move.mdl, sweeps=move.num_sweeps,
+                )
             logger.debug(
                 "plateau %d: B=%d MDL=%.2f (%d sweeps)",
                 plateaus, merge.num_blocks, move.mdl, move.num_sweeps,
@@ -446,6 +542,13 @@ class GSAPPartitioner:
         if checkpoint_dir is not None:
             # final snapshot so a post-mortem resume is a no-op continue
             write_checkpoint()
+        obs.gauge_set("final_mdl", best.mdl, help="MDL of the final partition")
+        obs.gauge_set(
+            "final_num_blocks", best.num_blocks,
+            help="block count of the final partition",
+        )
+        obs.gauge_set("num_plateaus", plateaus, help="golden-section plateaus run")
+        obs.gauge_set("num_sweeps", total_sweeps, help="total MCMC sweeps run")
         return PartitionResult(
             partition=best.bmap,
             num_blocks=best.num_blocks,

@@ -78,6 +78,7 @@ class PartitionResult:
             **{f"{k}_s": v for k, v in (
                 ("block_merge", self.timings.block_merge_s),
                 ("vertex_move", self.timings.vertex_move_s),
+                ("blockmodel_update", self.timings.blockmodel_update_s),
                 ("golden_section", self.timings.golden_section_s),
             )},
         }

@@ -34,6 +34,7 @@ from ..blockmodel.update import rebuild_blockmodel
 from ..config import SBPConfig
 from ..gpusim.device import Device, KernelCost
 from ..graph.csr import CSRAdjacency, DiGraphCSR
+from ..obs import NULL_OBS, Observability
 from ..types import FLOAT_DTYPE, INDEX_DTYPE, IndexArray
 from .mh import accept_moves, hastings_correction_batch
 from .proposals import combined_vertex_adjacency, propose_vertex_moves
@@ -164,6 +165,7 @@ def run_vertex_move_phase(
     threshold: float,
     initial_mdl_scale: Optional[float] = None,
     rebuild_fn: Callable[..., BlockmodelCSR] = rebuild_blockmodel,
+    obs: Optional[Observability] = None,
 ) -> VertexMoveOutcome:
     """Run batched async-Gibbs sweeps until the MDL plateaus.
 
@@ -178,7 +180,13 @@ def run_vertex_move_phase(
     rebuild_fn:
         Blockmodel rebuild used after each applied batch; the resilience
         ladder substitutes the host dense path under memory pressure.
+    obs:
+        Observability hub recording sweep spans, acceptance counters and
+        the per-proposal ΔMDL distribution; disabled hub by default.
+        Recording never consumes RNG draws, so a traced phase produces
+        the exact same moves as an untraced one.
     """
+    obs = obs or NULL_OBS
     bmap = np.asarray(bmap, dtype=INDEX_DTYPE).copy()
     num_vertices = graph.num_vertices
     total_weight = graph.total_edge_weight
@@ -193,35 +201,56 @@ def run_vertex_move_phase(
     converged = False
     sweeps = 0
 
+    track_deltas = obs.enabled and obs.config.track_deltas
     for sweep in range(config.max_num_nodal_itr):
         sweeps = sweep + 1
         order = rng.permutation(num_vertices).astype(INDEX_DTYPE)
         batches = np.array_split(order, config.num_batches_for_MCMC)
-        for batch in batches:
-            if len(batch) == 0:
-                continue
-            t0 = time.perf_counter()
-            prop = propose_vertex_moves(
-                device, graph, blockmodel, bmap, batch, rng,
-                vertex_adjacency=vertex_adj, phase=PHASE,
-            )
-            proposal_time += time.perf_counter() - t0
-            proposals_total += len(batch)
-            ctx = build_move_context(
-                device, graph, bmap, batch, prop.proposals, PHASE
-            )
-            term_sums = precompute_block_term_sums(device, blockmodel, PHASE)
-            delta = move_delta_batch(device, blockmodel, ctx, term_sums, PHASE)
-            hastings = hastings_correction_batch(device, blockmodel, ctx, PHASE)
-            accept = accept_moves(device, delta, hastings, config.beta, rng, PHASE)
-            accept &= ctx.r != ctx.s
-            if np.any(accept):
-                bmap[batch[accept]] = prop.proposals[accept]
-                accepted_total += int(accept.sum())
-                blockmodel = rebuild_fn(
-                    device, graph, bmap, blockmodel.num_blocks, PHASE
+        with obs.span("sweep", "sweep", index=sweep) as sweep_span:
+            for batch in batches:
+                if len(batch) == 0:
+                    continue
+                t0 = time.perf_counter()
+                prop = propose_vertex_moves(
+                    device, graph, blockmodel, bmap, batch, rng,
+                    vertex_adjacency=vertex_adj, phase=PHASE,
                 )
-        new_mdl = description_length(blockmodel, num_vertices, total_weight)
+                proposal_time += time.perf_counter() - t0
+                proposals_total += len(batch)
+                ctx = build_move_context(
+                    device, graph, bmap, batch, prop.proposals, PHASE
+                )
+                term_sums = precompute_block_term_sums(device, blockmodel, PHASE)
+                delta = move_delta_batch(device, blockmodel, ctx, term_sums, PHASE)
+                hastings = hastings_correction_batch(device, blockmodel, ctx, PHASE)
+                accept = accept_moves(device, delta, hastings, config.beta, rng, PHASE)
+                accept &= ctx.r != ctx.s
+                num_accepted = int(accept.sum())
+                obs.count(
+                    "mcmc_proposals_total", len(batch),
+                    help="vertex-move proposals evaluated",
+                )
+                obs.count(
+                    "mcmc_moves_accepted_total", num_accepted,
+                    help="vertex moves accepted by the MH test",
+                )
+                if track_deltas:
+                    obs.observe_many(
+                        "mcmc_delta_mdl", delta,
+                        help="per-proposal ΔMDL (Eq. 7)",
+                    )
+                if num_accepted:
+                    bmap[batch[accept]] = prop.proposals[accept]
+                    accepted_total += num_accepted
+                    blockmodel = rebuild_fn(
+                        device, graph, bmap, blockmodel.num_blocks, PHASE
+                    )
+            new_mdl = description_length(blockmodel, num_vertices, total_weight)
+            sweep_span.set(mdl=new_mdl, delta_mdl=mdl - new_mdl)
+        obs.observe(
+            "sweep_delta_mdl", mdl - new_mdl,
+            help="MDL improvement per MCMC sweep",
+        )
         window.append(mdl - new_mdl)
         mdl = new_mdl
         if len(window) > config.delta_entropy_moving_avg_window:
@@ -258,6 +287,7 @@ def run_vertex_move_phase_resilient(
     stats=None,
     budget=None,
     label: str = "vertex_move",
+    obs: Optional[Observability] = None,
 ) -> VertexMoveOutcome:
     """Retry-wrapped :func:`run_vertex_move_phase`.
 
@@ -286,9 +316,10 @@ def run_vertex_move_phase_resilient(
             device, graph, blockmodel, entry_bmap.copy(), config,
             rng_factory(), threshold,
             initial_mdl_scale=initial_mdl_scale, rebuild_fn=rebuild_fn,
+            obs=obs,
         )
 
     return with_retries(
         attempt, policy, seed=config.seed, label=label,
-        stats=stats, budget=budget,
+        stats=stats, budget=budget, obs=obs,
     )

@@ -19,8 +19,9 @@ at 1K vertices) and is reported as a secondary column in EXPERIMENTS.md.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Optional, TypeVar
+from typing import Callable, Iterator, Optional, TypeVar
 
 from ..errors import DeviceError, DeviceMemoryError, KernelLaunchError
 from .profiler import KernelRecord, Profiler
@@ -110,17 +111,25 @@ class Device:
     assigned to :attr:`fault_injector`; when present it is consulted
     before every allocation, kernel launch, and transfer, and may raise
     injected device errors or stall transfers.
+
+    A span tracer (:class:`repro.obs.Tracer`) may be assigned to
+    :attr:`tracer` (usually via
+    :meth:`repro.obs.Observability.attach_device`); when present and
+    enabled, every kernel launch and PCIe transfer is mirrored as a
+    leaf span nested under whatever span the caller has open.
     """
 
     def __init__(self, spec: DeviceSpec = A4000) -> None:
         self.spec = spec
         self.profiler = Profiler()
         self.fault_injector = None
+        self.tracer = None
         self._allocated_bytes = 0
         self._sim_time_s = 0.0
         self._transfer_sim_time_s = 0.0
         self._live_allocations: dict[int, int] = {}
         self._next_allocation_id = 0
+        self._active_phase: Optional[str] = None
 
     # ------------------------------------------------------------------
     # memory accounting (used by memory.DeviceArray)
@@ -170,8 +179,30 @@ class Device:
         memory = cost.resolved_bytes() / (self.spec.memory_bandwidth_gbps * 1e9)
         return self.spec.kernel_launch_overhead_s + max(compute, memory)
 
-    def charge_transfer(self, nbytes: int, direction: str) -> float:
-        """Account a host<->device copy; returns its simulated duration."""
+    @contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        """Attribute transfers issued in this block to phase *label*.
+
+        ``execute`` sets the active phase automatically for the duration
+        of a kernel body; this context manager covers host-side regions
+        that move data without launching a kernel.
+        """
+        previous = self._active_phase
+        self._active_phase = label
+        try:
+            yield
+        finally:
+            self._active_phase = previous
+
+    def charge_transfer(
+        self, nbytes: int, direction: str, phase: Optional[str] = None
+    ) -> float:
+        """Account a host<->device copy; returns its simulated duration.
+
+        The transfer is attributed to *phase* when given, else to the
+        currently active phase (set by :meth:`execute` / :meth:`phase`),
+        else ``"unphased"``.
+        """
         if direction not in ("h2d", "d2h"):
             raise DeviceError(f"unknown transfer direction {direction!r}")
         duration = self.spec.kernel_launch_overhead_s + nbytes / (
@@ -179,8 +210,21 @@ class Device:
         )
         if self.fault_injector is not None:
             duration += self.fault_injector.on_transfer(nbytes, direction)
+        phase = phase or self._active_phase or "unphased"
         self._transfer_sim_time_s += duration
-        self.profiler.record_transfer(nbytes, direction, duration)
+        self.profiler.record_transfer(nbytes, direction, duration, phase)
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.add_complete(
+                direction,
+                "transfer",
+                duration,
+                args={
+                    "nbytes": nbytes,
+                    "phase": phase,
+                    "clock": "sim",
+                },
+            )
         return duration
 
     # ------------------------------------------------------------------
@@ -213,8 +257,14 @@ class Device:
             )
         if self.fault_injector is not None:
             self.fault_injector.on_kernel(name, phase, cost.resolved_bytes())
+        previous_phase = self._active_phase
+        if phase is not None:
+            self._active_phase = phase
         start = time.perf_counter()
-        result = body()
+        try:
+            result = body()
+        finally:
+            self._active_phase = previous_phase
         wall = time.perf_counter() - start
         sim = self._kernel_sim_time(cost)
         self._sim_time_s += sim
@@ -228,6 +278,20 @@ class Device:
                 bytes_moved=cost.resolved_bytes(),
             )
         )
+        tracer = self.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.add_complete(
+                name,
+                "kernel",
+                wall,
+                start_abs_s=start,
+                args={
+                    "phase": phase or "unphased",
+                    "work_items": cost.work_items,
+                    "sim_time_s": sim,
+                    "bytes_moved": cost.resolved_bytes(),
+                },
+            )
         return result
 
 

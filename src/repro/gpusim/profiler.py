@@ -31,11 +31,12 @@ class TransferRecord:
     nbytes: int
     direction: str  # "h2d" | "d2h"
     sim_time_s: float
+    phase: str = "unphased"
 
 
 @dataclass
 class PhaseSummary:
-    """Aggregated timings of one phase."""
+    """Aggregated timings of one phase (kernels plus transfers)."""
 
     phase: str
     wall_time_s: float = 0.0
@@ -43,6 +44,9 @@ class PhaseSummary:
     num_launches: int = 0
     work_items: int = 0
     bytes_moved: int = 0
+    num_transfers: int = 0
+    transfer_bytes: int = 0
+    transfer_sim_time_s: float = 0.0
 
 
 class Profiler:
@@ -55,9 +59,18 @@ class Profiler:
     def record(self, record: KernelRecord) -> None:
         self.kernel_records.append(record)
 
-    def record_transfer(self, nbytes: int, direction: str, sim_time_s: float) -> None:
+    def record_transfer(
+        self,
+        nbytes: int,
+        direction: str,
+        sim_time_s: float,
+        phase: str = "unphased",
+    ) -> None:
         self.transfer_records.append(
-            TransferRecord(nbytes=nbytes, direction=direction, sim_time_s=sim_time_s)
+            TransferRecord(
+                nbytes=nbytes, direction=direction,
+                sim_time_s=sim_time_s, phase=phase,
+            )
         )
 
     def reset(self) -> None:
@@ -68,7 +81,13 @@ class Profiler:
     # aggregation
     # ------------------------------------------------------------------
     def by_phase(self) -> Dict[str, PhaseSummary]:
-        """Aggregate kernel records per phase label."""
+        """Aggregate kernel *and transfer* records per phase label.
+
+        Transfers contribute their simulated PCIe time to the phase's
+        ``sim_time_s`` (and the dedicated ``transfer_*`` fields), so
+        H2D/D2H traffic is visible in per-phase breakdowns instead of
+        silently vanishing from them.
+        """
         summaries: Dict[str, PhaseSummary] = {}
         for rec in self.kernel_records:
             summary = summaries.setdefault(rec.phase, PhaseSummary(phase=rec.phase))
@@ -77,6 +96,14 @@ class Profiler:
             summary.num_launches += 1
             summary.work_items += rec.work_items
             summary.bytes_moved += rec.bytes_moved
+        for xfer in self.transfer_records:
+            summary = summaries.setdefault(
+                xfer.phase, PhaseSummary(phase=xfer.phase)
+            )
+            summary.sim_time_s += xfer.sim_time_s
+            summary.num_transfers += 1
+            summary.transfer_bytes += xfer.nbytes
+            summary.transfer_sim_time_s += xfer.sim_time_s
         return summaries
 
     def by_kernel(self) -> Dict[str, PhaseSummary]:

@@ -1,0 +1,68 @@
+"""Unified observability: spans, convergence metrics, exporters, reports.
+
+The subsystem has four layers (see docs/observability.md):
+
+* :mod:`repro.obs.trace` — span-based tracer (run → plateau → phase →
+  kernel/transfer), zero overhead when disabled;
+* :mod:`repro.obs.metrics` — counters, gauges, histograms and series
+  covering MCMC convergence telemetry and resilience events;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto-loadable),
+  JSONL event streams, Prometheus text format;
+* :mod:`repro.obs.report` — per-run Markdown/JSON summaries reproducing
+  the paper's Fig. 10 breakdown and convergence curves from captured
+  data.
+
+:class:`Observability` bundles one tracer + one registry and is what the
+pipeline wires through; :data:`NULL_OBS` is the shared disabled hub.
+"""
+
+from .export import (
+    chrome_trace_events,
+    jsonl_events,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from .hub import NULL_OBS, Observability
+from .metrics import (
+    DEFAULT_BUCKETS,
+    DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+from .report import (
+    REPORT_SCHEMA,
+    build_run_report,
+    run_report_markdown,
+    write_run_report,
+)
+from .trace import NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "Tracer",
+    "NULL_TRACER",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "DEFAULT_BUCKETS",
+    "DURATION_BUCKETS",
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "jsonl_events",
+    "write_jsonl",
+    "prometheus_text",
+    "write_prometheus",
+    "build_run_report",
+    "run_report_markdown",
+    "write_run_report",
+    "REPORT_SCHEMA",
+]

@@ -1,0 +1,165 @@
+"""Exporters: Chrome trace-event JSON, JSONL event streams, Prometheus text.
+
+Chrome trace files load directly in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing``; spans become complete (``"ph": "X"``) events
+nested by time containment on one thread track.  The Prometheus output
+follows the text exposition format version 0.0.4 and can be served from
+a node-exporter textfile collector.  JSONL emits one self-describing
+JSON object per line — spans first, then metrics — for ad-hoc ``jq``
+analysis and log shipping.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
+from .trace import Tracer
+
+PathLike = Union[str, os.PathLike]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+def chrome_trace_events(tracer: Tracer, pid: int = 1) -> List[dict]:
+    """Convert a tracer's spans into trace-event dicts (ts/dur in µs)."""
+    events: List[dict] = []
+    for span in tracer.spans():
+        base = {
+            "name": span.name,
+            "cat": span.category,
+            "ts": span.start_s * 1e6,
+            "pid": pid,
+            "tid": 0,
+            "args": dict(span.args),
+        }
+        if span.kind == "instant":
+            base["ph"] = "i"
+            base["s"] = "t"  # thread-scoped instant
+        else:
+            base["ph"] = "X"
+            duration = span.duration_s
+            if duration is None:  # still open at export time
+                duration = max(0.0, tracer.now() - span.start_s)
+            base["dur"] = duration * 1e6
+        events.append(base)
+    return events
+
+
+def write_chrome_trace(
+    tracer: Tracer,
+    path: PathLike,
+    metadata: Optional[dict] = None,
+) -> Path:
+    """Write a Perfetto/``chrome://tracing``-loadable trace file."""
+    payload = {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": dict(metadata or {}),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# JSONL event stream
+# ----------------------------------------------------------------------
+def jsonl_events(
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> List[dict]:
+    """Span + metric events as a list of JSON-serialisable dicts."""
+    events: List[dict] = []
+    if tracer is not None:
+        for span in tracer.spans():
+            events.append({"type": span.kind, **span.to_dict()})
+    if registry is not None:
+        for metric in registry:
+            record: Dict[str, object] = {
+                "type": "metric",
+                "kind": metric.kind,
+                "name": metric.name,
+            }
+            if isinstance(metric, (Counter, Gauge)):
+                record["value"] = metric.value
+            elif isinstance(metric, Histogram):
+                record["count"] = metric.count
+                record["sum"] = metric.sum
+                record["buckets"] = [
+                    [("+Inf" if math.isinf(b) else b), c]
+                    for b, c in metric.cumulative_buckets()
+                ]
+            elif isinstance(metric, Series):
+                record["points"] = [[s, v] for s, v in metric.points]
+            events.append(record)
+    return events
+
+
+def write_jsonl(
+    path: PathLike,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Path:
+    """Write one JSON object per line: spans first, then metrics."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [json.dumps(e, sort_keys=True) for e in jsonl_events(tracer, registry)]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:.10g}"
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "gsap_") -> str:
+    """Render the registry in Prometheus text format 0.0.4.
+
+    Counters/gauges map directly; histograms emit cumulative
+    ``_bucket{le=...}`` lines plus ``_sum``/``_count``; a series is
+    exposed as a gauge holding its latest value (the full trajectory
+    belongs in the JSONL/report exports).
+    """
+    lines: List[str] = []
+    for metric in sorted(registry, key=lambda m: m.name):
+        name = f"{prefix}{metric.name}"
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            for bound, cum in metric.cumulative_buckets():
+                lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cum}')
+            lines.append(f"{name}_sum {_fmt(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+        elif isinstance(metric, Series):
+            lines.append(f"# TYPE {name} gauge")
+            last = metric.last
+            lines.append(f"{name} {_fmt(last if last is not None else 0.0)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    registry: MetricsRegistry, path: PathLike, prefix: str = "gsap_"
+) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(registry, prefix=prefix), encoding="utf-8")
+    return path

@@ -1,0 +1,325 @@
+"""Metrics registry: counters, gauges, histograms and series.
+
+The registry carries the run's convergence telemetry — MDL trajectory,
+Metropolis–Hastings acceptance counts, ΔMDL distributions, block counts
+per golden-section step — plus the resilience subsystem's retry/fault/
+degradation counts, all under Prometheus-compatible names so the text
+exporter (:mod:`repro.obs.export`) can emit them verbatim.
+
+Metric types
+------------
+:class:`Counter`
+    Monotonically increasing total.
+:class:`Gauge`
+    Last-set value.
+:class:`Histogram`
+    Distribution with fixed bucket boundaries (Prometheus style) plus
+    retained samples for exact quantiles; :meth:`Histogram.observe_many`
+    buckets a whole NumPy array in one pass.
+:class:`Series`
+    Ordered ``(step, value)`` trajectory (e.g. MDL per plateau).
+
+All state serialises with :meth:`MetricsRegistry.to_state` /
+:meth:`load_state` so metrics survive a checkpoint/resume cycle.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+#: Default histogram buckets: symmetric log-ish grid, suitable for the
+#: signed ΔMDL distributions observed by the MCMC phases.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    -1e4, -1e3, -1e2, -1e1, -1.0, -0.1, -0.01, 0.0,
+    0.01, 0.1, 1.0, 1e1, 1e2, 1e3, 1e4,
+)
+
+#: Buckets for non-negative durations in seconds.
+DURATION_BUCKETS: Tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name {name!r} is not Prometheus-compatible "
+            "([a-zA-Z_:][a-zA-Z0-9_:]*)"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        self.value += float(amount)
+
+    def to_state(self) -> dict:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+    def load_state(self, state: dict) -> None:
+        self.value = float(state.get("value", 0.0))
+
+
+class Gauge:
+    """A value that can go up and down; reports its last setting."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += float(amount)
+
+    def to_state(self) -> dict:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+    def load_state(self, state: dict) -> None:
+        self.value = float(state.get("value", 0.0))
+
+
+class Histogram:
+    """A distribution: Prometheus buckets plus retained exact samples.
+
+    Bucket counts are cumulative-ready (per-bucket here; the exporter
+    accumulates), with an implicit ``+Inf`` bucket at the end.  Samples
+    are retained in full for exact quantiles — runs at reproduction
+    scale observe at most a few hundred thousand values.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError(f"histogram {name} bucket bounds must be finite")
+        self.bounds: Tuple[float, ...] = bounds
+        self.bucket_counts = np.zeros(len(bounds) + 1, dtype=np.int64)
+        self.count = 0
+        self.sum = 0.0
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[np.searchsorted(self.bounds, value, side="left")] += 1
+        self.count += 1
+        self.sum += value
+        self._values.append(value)
+
+    def observe_many(self, values: Union[np.ndarray, Iterable[float]]) -> None:
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray)
+                         else values, dtype=np.float64).ravel()
+        if arr.size == 0:
+            return
+        idx = np.searchsorted(self.bounds, arr, side="left")
+        self.bucket_counts += np.bincount(idx, minlength=len(self.bucket_counts))
+        self.count += int(arr.size)
+        self.sum += float(arr.sum())
+        self._values.extend(arr.tolist())
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile of the observed samples (0 when empty)."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        if not self._values:
+            return 0.0
+        return float(np.quantile(np.asarray(self._values), q))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
+        cum = np.cumsum(self.bucket_counts)
+        pairs = [(b, int(c)) for b, c in zip(self.bounds, cum[:-1])]
+        pairs.append((math.inf, int(cum[-1])))
+        return pairs
+
+    def to_state(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "bounds": list(self.bounds),
+            "bucket_counts": self.bucket_counts.tolist(),
+            "count": self.count,
+            "sum": self.sum,
+            "values": list(self._values),
+        }
+
+    def load_state(self, state: dict) -> None:
+        bounds = tuple(state.get("bounds", self.bounds))
+        self.bounds = bounds
+        self.bucket_counts = np.asarray(
+            state.get("bucket_counts", [0] * (len(bounds) + 1)), dtype=np.int64
+        )
+        self.count = int(state.get("count", 0))
+        self.sum = float(state.get("sum", 0.0))
+        self._values = [float(v) for v in state.get("values", [])]
+
+
+class Series:
+    """An ordered trajectory of ``(step, value)`` points."""
+
+    kind = "series"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.points: List[Tuple[float, float]] = []
+
+    def append(self, step: Optional[float], value: float) -> None:
+        """Append a point; ``step=None`` auto-numbers from the length."""
+        if step is None:
+            step = float(len(self.points))
+        self.points.append((float(step), float(value)))
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.points[-1][1] if self.points else None
+
+    def to_state(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "points": [[s, v] for s, v in self.points],
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.points = [
+            (float(s), float(v)) for s, v in state.get("points", [])
+        ]
+
+
+Metric = Union[Counter, Gauge, Histogram, Series]
+
+_KINDS = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+    "series": Series,
+}
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors.
+
+    Re-registering a name with a different metric type raises
+    ``ValueError`` — a typo'd re-use would otherwise silently fork the
+    telemetry.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, not {cls.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self, name: str, help: str = "",
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def series(self, name: str, help: str = "") -> Series:
+        return self._get_or_create(Series, name, help)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain-dict view of every metric's current value."""
+        out: dict = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, (Counter, Gauge)):
+                out[name] = metric.value
+            elif isinstance(metric, Histogram):
+                out[name] = {
+                    "count": metric.count,
+                    "sum": metric.sum,
+                    "mean": metric.mean,
+                    "p50": metric.quantile(0.5),
+                    "p95": metric.quantile(0.95),
+                }
+            else:
+                out[name] = list(metric.points)
+        return out
+
+    def to_state(self) -> dict:
+        return {name: m.to_state() for name, m in self._metrics.items()}
+
+    def load_state(self, state: dict) -> None:
+        """Merge a saved registry state into this one (resume path)."""
+        for name, payload in state.items():
+            kind = payload.get("kind", "counter")
+            cls = _KINDS.get(kind)
+            if cls is None:
+                continue
+            kwargs = {}
+            if cls is Histogram and payload.get("bounds"):
+                kwargs["buckets"] = payload["bounds"]
+            metric = self._get_or_create(
+                cls, name, payload.get("help", ""), **kwargs
+            )
+            metric.load_state(payload)

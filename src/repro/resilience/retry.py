@@ -157,6 +157,7 @@ def with_retries(
     budget: Optional[FaultBudget] = None,
     sleep: Callable[[float], None] = time.sleep,
     logger=None,
+    obs=None,
 ) -> T:
     """Run ``operation(attempt)`` until it succeeds or the policy gives up.
 
@@ -165,6 +166,8 @@ def with_retries(
     :class:`RetryExhaustedError` carrying the final attempt's error when
     every attempt failed, and propagates immediately when the shared
     *budget* is exhausted.  Non-retryable exceptions propagate untouched.
+    *obs* (an :class:`~repro.obs.Observability`, duck-typed to avoid an
+    import cycle) gets fault/retry counters and instant trace markers.
     """
     jitter_rng = make_rng(seed, "retry_jitter", label)
     last_error: Optional[Exception] = None
@@ -175,12 +178,26 @@ def with_retries(
             last_error = exc
             if stats is not None:
                 stats.record_fault(exc)
+            if obs is not None:
+                obs.count(
+                    "resilience_faults_total",
+                    help="device faults absorbed by retry sites",
+                )
+                obs.instant(
+                    "fault", "resilience",
+                    label=label, kind=type(exc).__name__, attempt=attempt,
+                )
             if budget is not None:
                 budget.consume(exc)  # may raise RetryExhaustedError
             if attempt + 1 >= policy.max_attempts:
                 break
             if stats is not None:
                 stats.retries += 1
+            if obs is not None:
+                obs.count(
+                    "resilience_retries_total",
+                    help="retries performed after absorbed faults",
+                )
             delay = policy.delay_for_attempt(attempt + 1, jitter_rng)
             if logger is not None:
                 logger.warning(

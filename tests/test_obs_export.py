@@ -1,0 +1,108 @@
+"""Exporter tests: Chrome trace-event JSON validity, JSONL streams."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace_events,
+    jsonl_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def traced():
+    clock = FakeClock()
+    tr = Tracer(clock=clock)
+    with tr.span("run", "run"):
+        clock.advance(0.001)
+        with tr.span("plateau", "plateau", index=0):
+            clock.advance(0.002)
+            tr.add_complete("kern", "kernel", 0.0005)
+            tr.instant("fault", "resilience")
+        clock.advance(0.001)
+    return tr
+
+
+class TestChromeTrace:
+    def test_events_use_microseconds(self, traced):
+        events = chrome_trace_events(traced)
+        run = next(e for e in events if e["name"] == "run")
+        assert run["ph"] == "X"
+        assert run["ts"] == pytest.approx(0.0)
+        assert run["dur"] == pytest.approx(4000.0)  # 4 ms in µs
+
+    def test_instant_event_shape(self, traced):
+        instant = next(e for e in chrome_trace_events(traced)
+                       if e["name"] == "fault")
+        assert instant["ph"] == "i"
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+
+    def test_children_contained_within_parents(self, traced):
+        events = {e["name"]: e for e in chrome_trace_events(traced)
+                  if e["ph"] == "X"}
+        run, plateau = events["run"], events["plateau"]
+        assert plateau["ts"] >= run["ts"]
+        assert plateau["ts"] + plateau["dur"] <= run["ts"] + run["dur"]
+        kern = events["kern"]
+        assert kern["ts"] >= plateau["ts"]
+        assert kern["ts"] + kern["dur"] <= plateau["ts"] + plateau["dur"]
+
+    def test_written_file_is_valid_trace_json(self, traced, tmp_path):
+        path = write_chrome_trace(traced, tmp_path / "run.trace.json",
+                                  metadata={"seed": 1})
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"] == {"seed": 1}
+        for event in payload["traceEvents"]:
+            assert {"name", "cat", "ph", "ts", "pid", "tid"} <= set(event)
+
+    def test_open_span_exported_with_running_duration(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        tr.begin("open", "run")
+        clock.advance(1.0)
+        event = chrome_trace_events(tr)[0]
+        assert event["dur"] == pytest.approx(1e6)
+
+
+class TestJsonl:
+    def test_spans_then_metrics(self, traced):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        events = jsonl_events(traced, reg)
+        types = [e["type"] for e in events]
+        assert types[-1] == "metric"
+        assert "span" in types and "instant" in types
+
+    def test_written_file_parses_line_by_line(self, traced, tmp_path):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1.0)
+        reg.series("s").append(None, 2.0)
+        path = write_jsonl(tmp_path / "events.jsonl", traced, reg)
+        lines = path.read_text().strip().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert len(parsed) == len(traced.spans()) + 2
+        hist = next(p for p in parsed if p.get("kind") == "histogram")
+        assert hist["buckets"][-1][0] == "+Inf"
+
+    def test_empty_inputs_produce_empty_file(self, tmp_path):
+        path = write_jsonl(tmp_path / "empty.jsonl")
+        assert path.read_text() == ""

@@ -1,0 +1,190 @@
+"""Metrics registry tests: counters, histograms/quantiles, Prometheus
+text format, checkpoint round-trips."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.export import prometheus_text
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        c = Counter("moves_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("x").inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        g = Gauge("mdl")
+        g.set(10.0)
+        g.inc(-2.5)
+        assert g.value == 7.5
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError, match="not Prometheus-compatible"):
+            Counter("bad-name")
+
+
+class TestHistogram:
+    def test_quantiles_are_exact(self):
+        h = Histogram("d", buckets=[0.0, 10.0])
+        h.observe_many(np.arange(1, 101, dtype=float))
+        assert h.quantile(0.5) == pytest.approx(50.5)
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 100.0
+        assert h.mean == pytest.approx(50.5)
+        assert h.count == 100
+        assert h.sum == pytest.approx(5050.0)
+
+    def test_observe_many_matches_observe(self):
+        values = [-5.0, -0.5, 0.0, 0.3, 2.0, 200.0]
+        one = Histogram("one")
+        many = Histogram("many")
+        for v in values:
+            one.observe(v)
+        many.observe_many(np.asarray(values))
+        assert one.bucket_counts.tolist() == many.bucket_counts.tolist()
+        assert one.sum == pytest.approx(many.sum)
+
+    def test_cumulative_buckets_le_semantics(self):
+        # Prometheus le= is inclusive: a value equal to a bound counts there.
+        h = Histogram("h", buckets=[0.0, 1.0])
+        h.observe(0.0)
+        h.observe(1.0)
+        h.observe(2.0)
+        cum = dict(h.cumulative_buckets())
+        assert cum[0.0] == 1
+        assert cum[1.0] == 2
+        assert cum[math.inf] == 3
+
+    def test_cumulative_buckets_monotone(self):
+        h = Histogram("h")
+        h.observe_many(np.random.default_rng(0).normal(0, 100, 500))
+        counts = [c for _, c in h.cumulative_buckets()]
+        assert counts == sorted(counts)
+        assert counts[-1] == 500
+
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("h").quantile(0.5) == 0.0
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_non_finite_bounds_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            Histogram("h", buckets=[0.0, math.inf])
+
+
+class TestSeries:
+    def test_auto_numbering_and_last(self):
+        s = Series("mdl_per_plateau")
+        s.append(None, 100.0)
+        s.append(None, 90.0)
+        s.append(10, 80.0)
+        assert s.points == [(0.0, 100.0), (1.0, 90.0), (10.0, 80.0)]
+        assert s.last == 80.0
+
+    def test_empty_last_is_none(self):
+        assert Series("s").last is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_snapshot_shapes(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2.0)
+        reg.series("s").append(None, 9.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 3.0
+        assert snap["g"] == 1.5
+        assert snap["h"]["count"] == 1
+        assert snap["s"] == [(0.0, 9.0)]
+
+    def test_state_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help c").inc(7)
+        reg.histogram("h", buckets=[0.0, 5.0]).observe_many([1.0, 6.0])
+        reg.series("s").append(None, 4.0)
+        state = reg.to_state()
+
+        reg2 = MetricsRegistry()
+        reg2.load_state(state)
+        assert reg2.counter("c").value == 7.0
+        h = reg2.histogram("h")
+        assert h.count == 2
+        assert h.bounds == (0.0, 5.0)
+        assert h.quantile(1.0) == 6.0
+        assert reg2.series("s").points == [(0.0, 4.0)]
+
+    def test_load_merges_into_existing(self):
+        # resume path: counters continue from the checkpointed totals
+        old = MetricsRegistry()
+        old.counter("c").inc(5)
+        reg = MetricsRegistry()
+        reg.load_state(old.to_state())
+        reg.counter("c").inc(2)
+        assert reg.counter("c").value == 7.0
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("moves_total", "accepted moves").inc(12)
+        reg.gauge("final_mdl").set(123.5)
+        text = prometheus_text(reg)
+        assert "# HELP gsap_moves_total accepted moves" in text
+        assert "# TYPE gsap_moves_total counter" in text
+        assert "gsap_moves_total 12" in text
+        assert "# TYPE gsap_final_mdl gauge" in text
+        assert "gsap_final_mdl 123.5" in text
+        assert text.endswith("\n")
+
+    def test_histogram_exposition(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("d", buckets=[0.0, 1.0])
+        h.observe_many([-1.0, 0.5, 3.0])
+        text = prometheus_text(reg, prefix="")
+        assert 'd_bucket{le="0"} 1' in text
+        assert 'd_bucket{le="1"} 2' in text
+        assert 'd_bucket{le="+Inf"} 3' in text
+        assert "d_count 3" in text
+        assert "d_sum 2.5" in text
+
+    def test_series_exported_as_last_value_gauge(self):
+        reg = MetricsRegistry()
+        reg.series("mdl_per_plateau").append(None, 50.0)
+        reg.series("mdl_per_plateau").append(None, 40.0)
+        text = prometheus_text(reg)
+        assert "gsap_mdl_per_plateau 40" in text
+
+    def test_every_line_is_well_formed(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc()
+        reg.histogram("b").observe(1.0)
+        for line in prometheus_text(reg).splitlines():
+            assert line.startswith("#") or len(line.split(" ")) == 2

@@ -1,0 +1,98 @@
+"""Run-report tests: phase totals must mirror PhaseTimings, Markdown
+and JSON rendering."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.result import PartitionResult
+from repro.core.state import PhaseTimings, ProposalStats
+from repro.obs import Observability, build_run_report, write_run_report
+from repro.obs.report import run_report_markdown
+
+
+@pytest.fixture
+def result():
+    return PartitionResult(
+        partition=np.array([0, 0, 1, 1, 2]),
+        num_blocks=3,
+        mdl=123.45,
+        history=[(5, 200.0), (3, 150.0), (3, 123.45)],
+        timings=PhaseTimings(
+            block_merge_s=1.0,
+            vertex_move_s=3.0,
+            golden_section_s=0.5,
+            blockmodel_update_s=0.75,
+        ),
+        proposal_stats=ProposalStats(
+            merge_proposals=100, merge_proposal_time_s=0.01,
+            move_proposals=400, move_proposal_time_s=0.08,
+        ),
+        total_time_s=4.6,
+        sim_time_s=0.02,
+        num_sweeps=12,
+        algorithm="GSAP",
+    )
+
+
+class TestBuildReport:
+    def test_phase_totals_match_timings_exactly(self, result):
+        report = build_run_report(result)
+        breakdown = report["phase_breakdown"]
+        by_phase = {p["phase"]: p["seconds"] for p in breakdown["phases"]}
+        timings = result.timings
+        # acceptance gate: within 1% of PhaseTimings (they are exact)
+        assert by_phase["block_merge"] == pytest.approx(
+            timings.block_merge_s, rel=0.01)
+        assert by_phase["vertex_move"] == pytest.approx(
+            timings.vertex_move_s, rel=0.01)
+        assert by_phase["golden_section"] == pytest.approx(
+            timings.golden_section_s, rel=0.01)
+        assert breakdown["total_s"] == pytest.approx(timings.total_s, rel=0.01)
+        assert breakdown["blockmodel_update_s"] == timings.blockmodel_update_s
+
+    def test_shares_sum_to_one(self, result):
+        shares = [p["share"] for p in
+                  build_run_report(result)["phase_breakdown"]["phases"]]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_convergence_trajectory_mirrors_history(self, result):
+        trajectory = build_run_report(result)["convergence"]["trajectory"]
+        assert [(t["num_blocks"], t["mdl"]) for t in trajectory] == result.history
+        assert [t["plateau"] for t in trajectory] == [0, 1, 2]
+
+    def test_mcmc_section_from_metrics(self, result):
+        obs = Observability(enabled=True)
+        obs.count("mcmc_proposals_total", 200)
+        obs.count("mcmc_moves_accepted_total", 50)
+        obs.observe_many("mcmc_delta_mdl", np.linspace(-1, 1, 11))
+        report = build_run_report(result, obs=obs)
+        mcmc = report["mcmc"]
+        assert mcmc["acceptance_rate"] == pytest.approx(0.25)
+        assert mcmc["delta_mdl"]["count"] == 11
+        assert mcmc["delta_mdl"]["p50"] == pytest.approx(0.0)
+
+    def test_disabled_obs_adds_no_metrics(self, result):
+        report = build_run_report(result, obs=Observability(enabled=False))
+        assert "mcmc" not in report
+        assert "metrics" not in report
+
+
+class TestRendering:
+    def test_markdown_sections(self, result):
+        md = run_report_markdown(build_run_report(result, dataset="g.tsv"))
+        assert "# GSAP run report" in md
+        assert "## Phase breakdown (Fig. 10)" in md
+        assert "## Convergence trajectory" in md
+        assert "## Proposal throughput (Fig. 11)" in md
+        assert "g.tsv" in md
+
+    def test_write_json_vs_markdown(self, result, tmp_path):
+        report = build_run_report(result)
+        jpath = write_run_report(report, tmp_path / "r.json")
+        loaded = json.loads(jpath.read_text())
+        assert loaded["schema"] == "gsap-run-report/1"
+        assert loaded["run"]["num_blocks"] == 3
+        mpath = write_run_report(report, tmp_path / "r.md")
+        assert mpath.read_text().startswith("# GSAP run report")

@@ -1,0 +1,192 @@
+"""Tracer tests: span nesting, ordering, zero-cost disabled path,
+checkpoint round-trips."""
+
+import pytest
+
+from repro.obs.trace import _NULL_SPAN_CONTEXT, NULL_TRACER, Span, Tracer
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestNesting:
+    def test_nested_spans_record_depth_and_parent(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("run", "run"):
+            clock.advance(1.0)
+            with tr.span("plateau", "plateau", index=0):
+                clock.advance(0.5)
+                with tr.span("block_merge", "phase"):
+                    clock.advance(0.25)
+            clock.advance(0.25)
+        spans = tr.spans()
+        assert [s.name for s in spans] == ["run", "plateau", "block_merge"]
+        assert [s.depth for s in spans] == [0, 1, 2]
+        assert spans[0].parent is None
+        assert spans[1].parent == 0
+        assert spans[2].parent == 1
+        assert spans[0].duration_s == pytest.approx(2.0)
+        assert spans[1].duration_s == pytest.approx(0.75)
+        assert spans[2].duration_s == pytest.approx(0.25)
+
+    def test_children_contained_in_parents(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("outer", "run"):
+            clock.advance(0.1)
+            for i in range(3):
+                with tr.span("inner", "phase", i=i):
+                    clock.advance(0.2)
+        spans = tr.spans()
+        outer = spans[0]
+        for child in spans[1:]:
+            assert child.start_s >= outer.start_s
+            assert child.end_s <= outer.end_s
+
+    def test_sibling_spans_ordered_by_start(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        for i in range(4):
+            with tr.span("s", "phase", i=i):
+                clock.advance(1.0)
+        starts = [s.start_s for s in tr.spans()]
+        assert starts == sorted(starts)
+        assert all(s.depth == 0 for s in tr.spans())
+
+    def test_set_attaches_args_to_open_span(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("plateau", "plateau") as ctx:
+            ctx.set(mdl=42.0, blocks=7)
+        span = tr.spans()[0]
+        assert span.args == {"mdl": 42.0, "blocks": 7}
+
+    def test_exception_still_closes_span(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with tr.span("bad", "phase"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        assert tr.spans()[0].duration_s == pytest.approx(1.0)
+        assert tr.depth == 0
+
+
+class TestInstantAndComplete:
+    def test_instant_is_zero_duration_point_event(self):
+        clock = FakeClock(5.0)
+        tr = Tracer(clock=clock)
+        tr.instant("fault", "resilience", kind="DeviceError")
+        span = tr.spans()[0]
+        assert span.kind == "instant"
+        assert span.duration_s == 0.0
+        assert span.args["kind"] == "DeviceError"
+
+    def test_add_complete_backdates_start(self):
+        clock = FakeClock(10.0)
+        tr = Tracer(clock=clock)
+        clock.advance(2.0)
+        tr.add_complete("kernel_x", "kernel", 0.5)
+        span = tr.spans()[0]
+        assert span.start_s == pytest.approx(1.5)
+        assert span.duration_s == pytest.approx(0.5)
+
+    def test_add_complete_with_absolute_start(self):
+        clock = FakeClock(100.0)
+        tr = Tracer(clock=clock)  # epoch = 100
+        tr.add_complete("k", "kernel", 0.25, start_abs_s=101.0)
+        assert tr.spans()[0].start_s == pytest.approx(1.0)
+
+    def test_add_complete_nests_under_open_span(self):
+        tr = Tracer(clock=FakeClock())
+        with tr.span("phase", "phase"):
+            tr.add_complete("k", "kernel", 0.0)
+        k = tr.spans()[1]
+        assert k.depth == 1 and k.parent == 0
+
+
+class TestDisabled:
+    def test_disabled_tracer_records_nothing(self):
+        tr = Tracer(enabled=False)
+        with tr.span("x", "run"):
+            tr.instant("e")
+            tr.add_complete("k", "kernel", 1.0)
+        assert tr.spans() == []
+        assert tr.begin("y") == -1
+
+    def test_disabled_span_is_shared_null_context(self):
+        tr = Tracer(enabled=False)
+        ctx = tr.span("x")
+        assert ctx is _NULL_SPAN_CONTEXT
+        assert tr.span("y") is ctx  # no allocation per call
+        ctx.set(anything=1)  # no-op, must not raise
+
+    def test_null_tracer_is_disabled(self):
+        assert not NULL_TRACER.enabled
+
+
+class TestStateRoundTrip:
+    def test_round_trip_preserves_spans(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("run", "run", seed=3):
+            clock.advance(1.0)
+            tr.instant("mark", "event")
+        state = tr.to_state()
+
+        tr2 = Tracer(clock=FakeClock())
+        tr2.load_state(state)
+        restored = tr2.spans()
+        assert [s.name for s in restored] == ["run", "mark"]
+        assert restored[0].args == {"seed": 3}
+        assert restored[0].duration_s == pytest.approx(1.0)
+
+    def test_resume_clock_never_goes_backwards(self):
+        clock = FakeClock()
+        tr = Tracer(clock=clock)
+        with tr.span("before", "phase"):
+            clock.advance(50.0)
+        state = tr.to_state()
+
+        clock2 = FakeClock()
+        tr2 = Tracer(clock=clock2)
+        tr2.load_state(state)
+        assert tr2.now() >= 50.0
+        with tr2.span("after", "phase"):
+            clock2.advance(1.0)
+        before, after = tr2.spans()
+        assert after.start_s >= before.end_s
+
+    def test_open_spans_not_serialised(self):
+        tr = Tracer(clock=FakeClock())
+        tr.begin("open", "run")
+        assert tr.to_state()["spans"] == []
+
+    def test_load_remaps_indices_past_existing(self):
+        clock = FakeClock()
+        old = Tracer(clock=clock)
+        with old.span("a", "run"):
+            with old.span("b", "phase"):
+                clock.advance(0.1)
+        tr = Tracer(clock=FakeClock())
+        with tr.span("pre", "run"):
+            pass
+        tr.load_state(old.to_state())
+        spans = tr.spans()
+        assert spans[1].name == "a" and spans[1].index == 1
+        assert spans[2].name == "b" and spans[2].parent == 1
+
+    def test_span_dict_round_trip(self):
+        span = Span(name="x", category="phase", start_s=1.0, duration_s=0.5,
+                    depth=2, index=7, parent=3, args={"k": 1})
+        assert Span.from_dict(span.to_dict()) == span
