@@ -1,6 +1,6 @@
 # Convenience targets for the GSAP reproduction.
 
-.PHONY: install test test-fast test-faults bench bench-paper examples lint clean
+.PHONY: install test test-fast test-faults test-integrity bench bench-paper examples lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -13,6 +13,9 @@ test-fast:
 
 test-faults:
 	pytest tests/ -m faults
+
+test-integrity:
+	pytest tests/test_integrity.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -29,7 +29,12 @@ from .checkpoint import (
     save_result,
     save_run_checkpoint,
 )
-from .config import ObservabilityConfig, ResilienceConfig, SBPConfig
+from .config import (
+    IntegrityConfig,
+    ObservabilityConfig,
+    ResilienceConfig,
+    SBPConfig,
+)
 from .core import (
     GSAPPartitioner,
     PartitionResult,
@@ -37,6 +42,7 @@ from .core import (
     partition_graph,
 )
 from .errors import (
+    CheckpointCorruptError,
     CheckpointError,
     ConfigError,
     ConvergenceError,
@@ -45,9 +51,17 @@ from .errors import (
     FaultInjected,
     GraphFormatError,
     GraphValidationError,
+    IntegrityError,
+    NumericalError,
     PartitionError,
     ReproError,
     RetryExhaustedError,
+)
+from .integrity import (
+    IntegrityManager,
+    IntegrityStats,
+    audit_blockmodel,
+    reference_blockmodel,
 )
 from .resilience import (
     FaultInjector,
@@ -93,10 +107,12 @@ __all__ = [
     "SBPConfig",
     "ResilienceConfig",
     "ObservabilityConfig",
+    "IntegrityConfig",
     "GSAPPartitioner",
     "PartitionResult",
     "partition_graph",
     "CheckpointError",
+    "CheckpointCorruptError",
     "ConfigError",
     "ConvergenceError",
     "DatasetError",
@@ -104,9 +120,15 @@ __all__ = [
     "FaultInjected",
     "GraphFormatError",
     "GraphValidationError",
+    "IntegrityError",
+    "NumericalError",
     "PartitionError",
     "ReproError",
     "RetryExhaustedError",
+    "IntegrityManager",
+    "IntegrityStats",
+    "audit_blockmodel",
+    "reference_blockmodel",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",

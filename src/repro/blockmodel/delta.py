@@ -26,6 +26,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import NumericalError
 from ..gpusim.device import Device, KernelCost
 from ..gpusim import primitives as prim
 from ..types import FLOAT_DTYPE, INDEX_DTYPE
@@ -419,7 +420,13 @@ def merge_delta_batch(
 
     delta = old - (t_row_new + t_col_new)
     delta[r == s] = 0.0
-    return np.asarray(delta, dtype=FLOAT_DTYPE)
+    delta = np.asarray(delta, dtype=FLOAT_DTYPE)
+    if delta.size and not np.isfinite(delta).all():
+        raise NumericalError(
+            "merge_delta_batch: non-finite ΔMDL — blockmodel counts are "
+            "corrupt upstream of Eqs. 4-6"
+        )
+    return delta
 
 
 # ----------------------------------------------------------------------
@@ -603,4 +610,9 @@ def move_delta_batch(
     delta = old - (t_row_r + t_row_s + t_col_r + t_col_s)
     delta = np.asarray(delta, dtype=FLOAT_DTYPE)
     delta[r == s] = 0.0
+    if delta.size and not np.isfinite(delta).all():
+        raise NumericalError(
+            "move_delta_batch: non-finite ΔMDL — blockmodel counts are "
+            "corrupt upstream of Eq. 7"
+        )
     return delta

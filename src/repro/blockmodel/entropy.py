@@ -29,6 +29,7 @@ from typing import Union
 
 import numpy as np
 
+from ..errors import NumericalError
 from ..types import FLOAT_DTYPE
 from .blockmodel import BlockmodelCSR
 from .dense import DenseBlockmodel
@@ -70,11 +71,28 @@ def entropy_terms(
     weights = np.asarray(weights, dtype=FLOAT_DTYPE)
     d_src = np.asarray(d_src, dtype=FLOAT_DTYPE)
     d_dst = np.asarray(d_dst, dtype=FLOAT_DTYPE)
+    # Every legitimate input is a non-negative integer-valued count; a
+    # negative or non-finite entry means an upstream structure was
+    # corrupted, and log() would silently turn it into NaN.
+    for name, arr in (("weights", weights), ("d_src", d_src), ("d_dst", d_dst)):
+        if arr.size and (not np.isfinite(arr).all() or (arr < 0).any()):
+            raise NumericalError(
+                f"entropy_terms: {name} contains negative or non-finite "
+                "entries — blockmodel counts are corrupt"
+            )
     out = np.zeros_like(weights)
     positive = weights > 0
     denom = d_src[positive] * d_dst[positive]
-    # Degrees are >= the incident edge weight, so denom > 0 wherever M > 0.
-    out[positive] = weights[positive] * np.log(weights[positive] / denom)
+    # Degrees are >= the incident edge weight, so denom > 0 wherever M > 0
+    # on uncorrupted inputs; a zeroed degree yields inf/nan here, which the
+    # finiteness check below converts into a typed error (no warning spam).
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out[positive] = weights[positive] * np.log(weights[positive] / denom)
+    if out.size and not np.isfinite(out).all():
+        raise NumericalError(
+            "entropy_terms: non-finite entropy term (degree underflow "
+            "against a positive edge count)"
+        )
     return out
 
 
@@ -117,7 +135,13 @@ def description_length(
     else:
         b = model.num_blocks
         data = data_log_posterior_csr(model)
-    return model_description_length(num_vertices, num_edges, b) - data
+    mdl = model_description_length(num_vertices, num_edges, b) - data
+    if not math.isfinite(mdl):
+        raise NumericalError(
+            f"description_length: non-finite MDL ({mdl}) for B={b}, "
+            f"V={num_vertices}, E={num_edges}"
+        )
+    return mdl
 
 
 def null_description_length(num_vertices: int, num_edges: int) -> float:

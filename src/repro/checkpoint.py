@@ -20,10 +20,16 @@ atomically :func:`os.replace`'d into place, with the JSON manifest
 committed last, so a reader never observes a torn checkpoint.  Loads
 validate ``format_version`` and raise
 :class:`~repro.errors.CheckpointError` on mismatch or truncation.
+
+Binary payloads (``partition.npy``, ``state-*.npz``) additionally carry
+a SHA-256 content digest in their manifest; loads verify it and raise
+:class:`~repro.errors.CheckpointCorruptError` naming the damaged file
+instead of deserializing garbage (bit rot, torn copies, tampering).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import dataclass, field
@@ -34,15 +40,17 @@ import numpy as np
 
 from .core.result import PartitionResult
 from .core.state import PartitionSnapshot, PhaseTimings, ProposalStats
-from .errors import CheckpointError
+from .errors import CheckpointCorruptError, CheckpointError
+from .integrity.manager import IntegrityStats
 from .resilience.retry import ResilienceStats
 from .types import INDEX_DTYPE
 
 PathLike = Union[str, os.PathLike]
 
-#: result.json format: 2 adds the "resilience" block (1 is still readable).
-_FORMAT_VERSION = 2
-_COMPAT_VERSIONS = (1, 2)
+#: result.json format: 2 adds the "resilience" block, 3 adds content
+#: digests and the "integrity" block (1 and 2 are still readable).
+_FORMAT_VERSION = 3
+_COMPAT_VERSIONS = (1, 2, 3)
 
 #: run.json (mid-run snapshot) format.
 RUN_FORMAT_VERSION = 1
@@ -77,6 +85,37 @@ def _read_json(path: Path, what: str) -> dict:
     if not isinstance(payload, dict):
         raise CheckpointError(f"{what} {path} does not hold a JSON object")
     return payload
+
+
+def _file_sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _verify_digests(directory: Path, payload: dict, what: str) -> None:
+    """Check every manifest-recorded content digest under *directory*.
+
+    Old manifests (no ``content_digests`` key) pass silently — the
+    digest is an integrity upgrade, not a compatibility break.
+    """
+    digests = payload.get("content_digests")
+    if not isinstance(digests, dict):
+        return
+    for name, expected in digests.items():
+        path = directory / str(name)
+        if not path.exists():
+            raise CheckpointError(f"{what} under {directory} lost {name}")
+        actual = _file_sha256(path)
+        if actual != str(expected):
+            raise CheckpointCorruptError(
+                f"{what} file {path} is corrupt: content digest "
+                f"{actual[:16]}… does not match the manifest's "
+                f"{str(expected)[:16]}… — refusing to deserialize",
+                path=str(path),
+            )
 
 
 def _check_version(payload: dict, allowed, what: str) -> int:
@@ -119,11 +158,15 @@ def save_result(result: PartitionResult, directory: PathLike) -> Path:
         "num_sweeps": result.num_sweeps,
         "converged": result.converged,
         "resilience": result.resilience.to_dict(),
+        "integrity": result.integrity.to_dict(),
     }
     # the partition lands first, the manifest last: a crash in between
     # leaves either the old consistent pair or a refreshed partition with
     # the old manifest — never a manifest pointing at missing data
     _atomic_save_array(directory / "partition.npy", result.partition)
+    payload["content_digests"] = {
+        "partition.npy": _file_sha256(directory / "partition.npy")
+    }
     _atomic_write_text(
         directory / "result.json", json.dumps(payload, indent=2)
     )
@@ -139,11 +182,13 @@ def load_result(directory: PathLike) -> PartitionResult:
     _check_version(payload, _COMPAT_VERSIONS, "result")
     if not npy_path.exists():
         raise CheckpointError(f"saved result under {directory} lost partition.npy")
+    _verify_digests(directory, payload, "saved result")
     try:
         partition = np.load(npy_path).astype(INDEX_DTYPE)
         timings = PhaseTimings(**payload["timings"])
         stats = ProposalStats(**payload["proposal_stats"])
         resilience = ResilienceStats.from_dict(payload.get("resilience", {}))
+        integrity = IntegrityStats.from_dict(payload.get("integrity", {}))
         return PartitionResult(
             partition=partition,
             num_blocks=int(payload["num_blocks"]),
@@ -157,6 +202,7 @@ def load_result(directory: PathLike) -> PartitionResult:
             converged=bool(payload["converged"]),
             algorithm=str(payload["algorithm"]),
             resilience=resilience,
+            integrity=integrity,
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(
@@ -206,6 +252,16 @@ class RunCheckpoint:
     #: serialized :meth:`repro.obs.Observability.to_state` payload, so a
     #: resumed run keeps the spans/metrics captured before the kill.
     observability: Dict[str, object] = field(default_factory=dict)
+    #: serialized :class:`~repro.integrity.IntegrityStats`, so a resumed
+    #: run keeps counting audits/repairs from the pre-kill totals.
+    integrity: Dict[str, object] = field(default_factory=dict)
+
+    def best_snapshot(self) -> Optional[PartitionSnapshot]:
+        """The bracket snapshot with the lowest MDL (``None`` if empty)."""
+        candidates = [s for s in self.snapshots if s is not None]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda snap: snap.mdl)
 
 
 def graph_fingerprint(graph) -> Dict[str, int]:
@@ -244,6 +300,9 @@ def save_run_checkpoint(state: RunCheckpoint, directory: PathLike) -> Path:
     os.replace(tmp, directory / state_name)
 
     payload = {
+        "content_digests": {
+            state_name: _file_sha256(directory / state_name)
+        },
         "format_version": RUN_FORMAT_VERSION,
         "kind": "gsap-run",
         "algorithm": state.algorithm,
@@ -271,6 +330,7 @@ def save_run_checkpoint(state: RunCheckpoint, directory: PathLike) -> Path:
         "degradation": dict(state.degradation),
         "sim_time_s": state.sim_time_s,
         "observability": dict(state.observability),
+        "integrity": dict(state.integrity),
     }
     _atomic_write_text(directory / _RUN_MANIFEST, json.dumps(payload, indent=2))
 
@@ -298,6 +358,7 @@ def load_run_checkpoint(directory: PathLike) -> RunCheckpoint:
             f"run checkpoint under {directory} lost its state file "
             f"{payload.get('state_file')!r}"
         )
+    _verify_digests(directory, payload, "run checkpoint")
     try:
         with np.load(state_path) as bundle:
             snapshots: List[Optional[PartitionSnapshot]] = []
@@ -334,6 +395,7 @@ def load_run_checkpoint(directory: PathLike) -> RunCheckpoint:
             sim_time_s=float(payload.get("sim_time_s", 0.0)),
             algorithm=str(payload.get("algorithm", "GSAP")),
             observability=dict(payload.get("observability", {})),
+            integrity=dict(payload.get("integrity", {})),
         )
     except CheckpointError:
         raise

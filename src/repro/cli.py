@@ -8,6 +8,9 @@ Subcommands
     Partition an edge-list file with GSAP or a baseline; report MDL/NMI.
 ``bench``
     Run the benchmark matrix and print the paper's tables and figures.
+``verify``
+    Audit a saved result or run checkpoint offline: content digests plus
+    the full blockmodel invariant audit (with ``--edges``).
 ``info``
     Print the dataset registry (paper Table 1) at the library's scales.
 """
@@ -37,6 +40,7 @@ from .bench import (
     to_csv,
 )
 from .config import SBPConfig
+from .errors import CheckpointCorruptError, CheckpointError, IntegrityError
 from .graph.datasets import SIZES, normalize_category
 from .graph.generators import generate_category_graph
 from .graph.io import (
@@ -106,6 +110,19 @@ def _add_partition(sub: argparse._SubParsersAction) -> None:
              "(chaos testing)",
     )
     p.add_argument(
+        "--audit", action="store_true",
+        help="audit blockmodel invariants during the run (GSAP only)",
+    )
+    p.add_argument(
+        "--audit-every", type=int, default=0, metavar="N",
+        help="integrity sites between audits (implies --audit)",
+    )
+    p.add_argument(
+        "--repair", action="store_true",
+        help="self-heal detected corruption instead of failing "
+             "(implies --audit)",
+    )
+    p.add_argument(
         "--trace-out", metavar="FILE",
         help="write a Chrome/Perfetto trace of the run (GSAP only); "
              "enables observability",
@@ -138,7 +155,25 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         config = config.replace(
             resilience=config.resilience.replace(**resilience_changes)
         )
+    integrity_changes = {}
+    if args.audit or args.audit_every or args.repair:
+        integrity_changes["audit"] = True
+    if args.audit_every:
+        integrity_changes["audit_every"] = args.audit_every
+    if args.repair:
+        integrity_changes["repair"] = True
+    if integrity_changes:
+        config = config.replace(
+            integrity=config.integrity.replace(**integrity_changes)
+        )
     is_gsap = args.algo == "GSAP"
+    if integrity_changes and not is_gsap:
+        print(
+            f"--audit/--audit-every/--repair are only supported for GSAP, "
+            f"not {args.algo}",
+            file=sys.stderr,
+        )
+        return 2
     wants_obs = bool(args.trace_out or args.metrics_out or args.events_out)
     if wants_obs and not is_gsap:
         print(
@@ -167,12 +202,27 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         install_fault_injector(device, plan)
         print(f"installed fault plan with {len(plan)} fault(s)")
     t0 = time.perf_counter()
-    if is_gsap:
-        result = partitioner.partition(
-            graph, resume_from=args.resume, checkpoint_dir=args.checkpoint
+    try:
+        if is_gsap:
+            result = partitioner.partition(
+                graph, resume_from=args.resume, checkpoint_dir=args.checkpoint
+            )
+        else:
+            result = partitioner.partition(graph)
+    except CheckpointCorruptError as err:
+        where = f" {err.path}" if err.path else ""
+        print(
+            f"checkpoint corrupt:{where}\n  {err}\n"
+            f"  delete the damaged checkpoint (or point --resume elsewhere) "
+            f"and rerun",
+            file=sys.stderr,
         )
-    else:
-        result = partitioner.partition(graph)
+        return 1
+    except IntegrityError as err:
+        print(f"integrity failure: {err}", file=sys.stderr)
+        for violation in err.violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - t0
     print(f"algorithm      : {result.algorithm}")
     print(f"vertices/edges : {graph.num_vertices} / {graph.num_edges}")
@@ -192,6 +242,15 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             print(f"resumed from   : {res.resumed_from}")
         for event in res.degradations:
             print(f"  degraded: {event}")
+    integ = result.integrity
+    if integ.audits or integ.corruptions_detected:
+        print(
+            f"integrity      : {integ.audits} audit(s), "
+            f"{integ.corruptions_detected} corruption(s) detected, "
+            f"{integ.repairs} repair(s)"
+        )
+        for rung, n in sorted(integ.repairs_by_rung.items()):
+            print(f"  repaired via {rung}: {n}")
     obs = getattr(partitioner, "obs", None)
     if obs is not None and obs.enabled:
         from .obs import write_chrome_trace, write_jsonl, write_prometheus
@@ -400,6 +459,114 @@ def _cmd_hierarchy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_verify(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "verify",
+        help="audit a saved result or run checkpoint for corruption",
+    )
+    p.add_argument(
+        "path", help="directory holding result.json or run.json"
+    )
+    p.add_argument(
+        "--edges", metavar="FILE",
+        help="edge-list TSV of the partitioned graph; enables the full "
+             "blockmodel invariant audit on top of digest verification",
+    )
+    p.add_argument("--zero-based", action="store_true", help="ids start at 0")
+    p.add_argument(
+        "--mdl-tol", type=float, default=1e-6,
+        help="relative tolerance for the recorded-vs-recomputed MDL check",
+    )
+    p.set_defaults(func=_cmd_verify)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .checkpoint import (
+        has_run_checkpoint,
+        load_result,
+        load_run_checkpoint,
+    )
+    from .types import INDEX_DTYPE
+
+    directory = Path(args.path)
+    targets = []  # (label, bmap, num_blocks, recorded mdl)
+    try:
+        if (directory / "result.json").exists():
+            result = load_result(directory)
+            print(
+                f"saved result: {result.num_blocks} blocks, "
+                f"MDL {result.mdl:.2f} — content digests OK"
+            )
+            targets.append(
+                ("result", result.partition, result.num_blocks, result.mdl)
+            )
+        elif has_run_checkpoint(directory):
+            ck = load_run_checkpoint(directory)
+            print(
+                f"run checkpoint: plateau {ck.plateau} — content digests OK"
+            )
+            for i, snap in enumerate(ck.snapshots):
+                if snap is not None:
+                    targets.append(
+                        (f"snapshot[{i}]", snap.bmap, snap.num_blocks,
+                         snap.mdl)
+                    )
+        else:
+            print(
+                f"{directory} holds neither result.json nor run.json",
+                file=sys.stderr,
+            )
+            return 2
+    except CheckpointCorruptError as err:
+        print(f"CORRUPT: {err}", file=sys.stderr)
+        return 1
+    except CheckpointError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+    if not args.edges:
+        print(
+            "content digests verified; pass --edges to also run the "
+            "blockmodel invariant audit"
+        )
+        return 0
+
+    from .blockmodel.update import rebuild_blockmodel
+    from .gpusim.device import A4000, Device
+    from .integrity import audit_blockmodel
+
+    graph = load_edge_list(args.edges, one_based=not args.zero_based)
+    device = Device(A4000)
+    status = 0
+    for label, bmap, num_blocks, mdl in targets:
+        bmap = np.asarray(bmap, dtype=INDEX_DTYPE)
+        if len(bmap) != graph.num_vertices:
+            print(
+                f"{label}: FAIL — assignment covers {len(bmap)} vertices, "
+                f"graph has {graph.num_vertices}",
+                file=sys.stderr,
+            )
+            status = 1
+            continue
+        blockmodel = rebuild_blockmodel(device, graph, bmap, int(num_blocks))
+        violations = audit_blockmodel(
+            graph, bmap, blockmodel,
+            mdl_tol=args.mdl_tol, tracked_mdl=float(mdl),
+        )
+        if violations:
+            status = 1
+            print(f"{label}: FAIL", file=sys.stderr)
+            for v in violations:
+                print(f"  {v.invariant}: {v.detail}", file=sys.stderr)
+        else:
+            print(f"{label}: OK ({int(num_blocks)} blocks, MDL {mdl:.2f})")
+    if status == 0:
+        print("all invariants hold")
+    return status
+
+
 def _add_info(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("info", help="print the dataset registry (Table 1)")
     p.set_defaults(func=_cmd_info)
@@ -434,6 +601,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stream(sub)
     _add_analyze(sub)
     _add_hierarchy(sub)
+    _add_verify(sub)
     _add_info(sub)
     return parser
 

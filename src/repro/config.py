@@ -122,6 +122,56 @@ class ObservabilityConfig:
 
 
 @dataclass(frozen=True)
+class IntegrityConfig:
+    """Silent-corruption defense knobs (:mod:`repro.integrity`).
+
+    Parameters
+    ----------
+    audit:
+        Master switch for the blockmodel invariant auditor.  Off (the
+        default) costs nothing; on, the auditor runs at every
+        ``audit_every``-th blockmodel rebuild.  Auditing never consumes
+        RNG draws, so an audited run produces a bit-identical partition
+        to an unaudited one.
+    audit_every:
+        Audit cadence in rebuild sites (1 = every rebuild).  Corruption
+        at a site is only guaranteed to be repaired back to the
+        fault-free trajectory when ``audit_every == 1``; larger values
+        trade detection latency (and repair fidelity) for audit cost.
+    repair:
+        Attempt the self-healing repair ladder (targeted rebuild →
+        dense rebuild → checkpoint restore) when an audit fails.  Off,
+        a failed audit raises :class:`~repro.errors.IntegrityError`.
+    mdl_tol:
+        Relative tolerance when comparing the incrementally tracked MDL
+        against the recomputed-from-scratch value.
+    track_device_digests:
+        Also enable the device-level CRC32 buffer digest registry
+        (:meth:`repro.gpusim.Device.verify_buffers`).
+    """
+
+    audit: bool = False
+    audit_every: int = 1
+    repair: bool = False
+    mdl_tol: float = 1e-6
+    track_device_digests: bool = False
+
+    def __post_init__(self) -> None:
+        if self.audit_every < 1:
+            raise ConfigError(
+                f"audit_every must be >= 1, got {self.audit_every!r}"
+            )
+        if self.mdl_tol < 0 or not math.isfinite(self.mdl_tol):
+            raise ConfigError(
+                f"mdl_tol must be >= 0 and finite, got {self.mdl_tol!r}"
+            )
+
+    def replace(self, **changes: object) -> "IntegrityConfig":
+        """Return a copy with *changes* applied (validated)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
 class SBPConfig:
     """Stochastic-block-partitioning parameters (paper Table 2).
 
@@ -161,6 +211,9 @@ class SBPConfig:
     observability:
         Tracing/metrics knobs (:class:`ObservabilityConfig`); a plain
         dict is accepted and coerced.  Disabled by default.
+    integrity:
+        Silent-corruption defense knobs (:class:`IntegrityConfig`); a
+        plain dict is accepted and coerced.  Disabled by default.
     """
 
     num_blocks_reduction_rate: float = 0.4
@@ -177,6 +230,7 @@ class SBPConfig:
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig
     )
+    integrity: IntegrityConfig = field(default_factory=IntegrityConfig)
 
     def __post_init__(self) -> None:
         if isinstance(self.resilience, dict):
@@ -196,6 +250,13 @@ class SBPConfig:
             raise ConfigError(
                 "observability must be an ObservabilityConfig or dict, got "
                 f"{type(self.observability).__name__}"
+            )
+        if isinstance(self.integrity, dict):
+            object.__setattr__(self, "integrity", IntegrityConfig(**self.integrity))
+        elif not isinstance(self.integrity, IntegrityConfig):
+            raise ConfigError(
+                "integrity must be an IntegrityConfig or dict, got "
+                f"{type(self.integrity).__name__}"
             )
         if not (0.0 < self.num_blocks_reduction_rate < 1.0):
             raise ConfigError(

@@ -131,6 +131,7 @@ def run_block_merge_phase(
     rng: np.random.Generator,
     rebuild_fn: Callable[..., BlockmodelCSR] = rebuild_blockmodel,
     obs: Optional[Observability] = None,
+    integrity=None,
 ) -> BlockMergeOutcome:
     """Merge the current partition down to *target_num_blocks* blocks.
 
@@ -140,6 +141,9 @@ def run_block_merge_phase(
     blockmodel rebuild used after each merge round (the resilience
     ladder substitutes the host dense path under memory pressure).
     *obs* records per-round spans and the merge ΔMDL distribution.
+    *integrity* (an :class:`~repro.integrity.IntegrityManager`) gets an
+    integrity site after every rebuild — the point where corruption can
+    strike and audits/repairs run.
     """
     if target_num_blocks < 1:
         raise PartitionError(f"target_num_blocks must be >= 1, got {target_num_blocks}")
@@ -176,6 +180,8 @@ def run_block_merge_phase(
                 num_blocks - target_num_blocks,
             )
             blockmodel = rebuild_fn(device, graph, bmap, num_blocks, PHASE)
+            if integrity is not None:
+                blockmodel = integrity.site(bmap, blockmodel, PHASE)
         obs.count("merge_rounds_total", help="block-merge proposal rounds")
         obs.count(
             "merge_proposals_total", len(delta),

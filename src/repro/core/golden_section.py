@@ -26,7 +26,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
-from ..errors import PartitionError
+from ..errors import NumericalError, PartitionError
 from .state import PartitionSnapshot
 
 
@@ -68,6 +68,11 @@ class GoldenSectionSearch:
 
     def update(self, snapshot: PartitionSnapshot) -> None:
         """Insert a newly-evaluated partition into the bracket."""
+        if not math.isfinite(snapshot.mdl):
+            raise NumericalError(
+                f"golden-section update: non-finite MDL ({snapshot.mdl}) "
+                f"for B={snapshot.num_blocks} — refusing to corrupt the bracket"
+            )
         self.history.append((snapshot.num_blocks, snapshot.mdl))
         if self.observer is not None:
             self.observer(snapshot)

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..blockmodel.blockmodel import BlockmodelCSR
 from ..blockmodel.delta import MoveDeltaContext
+from ..errors import NumericalError
 from ..gpusim.device import Device, KernelCost
 from ..types import FLOAT_DTYPE, INDEX_DTYPE
 
@@ -175,6 +176,16 @@ def accept_moves(
     phase: str = "vertex_move",
 ) -> np.ndarray:
     """Vectorized accept/reject: ``u < min(1, exp(-β ΔS) · H)``."""
+    # Guard BEFORE the RNG draw: a NaN ΔS or Hastings ratio would make
+    # every comparison False (silent all-reject) while still consuming
+    # random numbers, desynchronizing the run from its fault-free twin.
+    if len(delta) and not (
+        np.isfinite(delta).all() and np.isfinite(hastings).all()
+    ):
+        raise NumericalError(
+            "accept_moves: non-finite ΔS or Hastings correction reached "
+            "the MH acceptance step"
+        )
 
     def kernel() -> np.ndarray:
         # exp underflows harmlessly to 0 for very bad moves; clip the

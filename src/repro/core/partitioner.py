@@ -166,6 +166,7 @@ class GSAPPartitioner:
         streams: StreamFactory,
         degradation: _Degradation,
         timings: PhaseTimings,
+        integrity=None,
     ) -> Tuple[BlockMergeOutcome, VertexMoveOutcome]:
         """One attempt of one plateau: rebuild, merge down, vertex-move.
 
@@ -185,10 +186,12 @@ class GSAPPartitioner:
             blockmodel = rebuild_fn(
                 device, graph, bmap, resume.num_blocks, "block_merge"
             )
+            if integrity is not None:
+                blockmodel = integrity.site(bmap, blockmodel, "block_merge")
             merge = run_block_merge_phase(
                 device, graph, blockmodel, bmap, target, config,
                 streams.get("block_merge", plateau_idx), rebuild_fn,
-                obs=obs,
+                obs=obs, integrity=integrity,
             )
         timings.block_merge_s += time.perf_counter() - t0
 
@@ -210,7 +213,7 @@ class GSAPPartitioner:
                 device, graph, merge.blockmodel, merge.bmap, config,
                 streams.get("vertex_move", plateau_idx),
                 threshold, initial_mdl_scale=initial_mdl,
-                rebuild_fn=timed_rebuild, obs=obs,
+                rebuild_fn=timed_rebuild, obs=obs, integrity=integrity,
             )
         timings.vertex_move_s += time.perf_counter() - t0
         timings.blockmodel_update_s += update_spent[0]
@@ -229,6 +232,7 @@ class GSAPPartitioner:
         timings: PhaseTimings,
         stats: ResilienceStats,
         budget: FaultBudget,
+        integrity=None,
     ) -> Tuple[BlockMergeOutcome, VertexMoveOutcome]:
         """Run a plateau under retries; escalate persistent OOM down the
         degradation ladder instead of aborting."""
@@ -240,6 +244,7 @@ class GSAPPartitioner:
                     lambda attempt: self._run_plateau(
                         graph, resume, target, threshold, initial_mdl,
                         plateau_idx, streams, degradation, timings,
+                        integrity=integrity,
                     ),
                     policy,
                     seed=self.config.seed,
@@ -344,9 +349,11 @@ class GSAPPartitioner:
         from ..checkpoint import (
             RunCheckpoint,
             graph_fingerprint,
+            has_run_checkpoint,
             load_run_checkpoint,
             save_run_checkpoint,
         )
+        from ..integrity import IntegrityManager, IntegrityStats
 
         obs = self.obs
         config = self.config
@@ -385,6 +392,7 @@ class GSAPPartitioner:
         total_sweeps = 0
         plateaus = 0
 
+        integrity_state: Optional[dict] = None
         if resume_from is not None:
             ck = load_run_checkpoint(resume_from)
             if ck.graph_fingerprint != fingerprint:
@@ -409,6 +417,7 @@ class GSAPPartitioner:
             stats.resumed_from = str(resume_from)
             degradation = _Degradation.from_dict(ck.degradation)
             sim_offset = ck.sim_time_s
+            integrity_state = ck.integrity
             if ck.observability:
                 obs.load_state(ck.observability)
             obs.instant(
@@ -448,6 +457,27 @@ class GSAPPartitioner:
         if checkpoint_dir is not None and checkpoint_every == 0:
             checkpoint_every = 1
 
+        def restore_last_assignment():
+            """Known-good assignment from the last checkpoint (repair rung 3)."""
+            source = checkpoint_dir if checkpoint_dir is not None else resume_from
+            if source is None or not has_run_checkpoint(source):
+                return None
+            snapshot = load_run_checkpoint(source).best_snapshot()
+            if snapshot is None:
+                return None
+            return (
+                np.asarray(snapshot.bmap, dtype=INDEX_DTYPE).copy(),
+                snapshot.num_blocks,
+            )
+
+        integrity = IntegrityManager(
+            config.integrity, device, graph,
+            budget=budget, resilience_stats=stats, obs=obs,
+            restore_assignment=restore_last_assignment,
+        )
+        if integrity_state:
+            integrity.stats = IntegrityStats.from_dict(integrity_state)
+
         def write_checkpoint() -> None:
             save_run_checkpoint(
                 RunCheckpoint(
@@ -465,6 +495,7 @@ class GSAPPartitioner:
                     sim_time_s=device.sim_time_s - sim_start + sim_offset,
                     algorithm=self.name,
                     observability=obs.to_state(),
+                    integrity=integrity.stats.to_dict(),
                 ),
                 checkpoint_dir,
             )
@@ -505,6 +536,13 @@ class GSAPPartitioner:
                 merge, move = self._run_plateau_resilient(
                     graph, resume, target, threshold, initial_mdl, plateau_idx,
                     streams, degradation, timings, stats, budget,
+                    integrity=integrity,
+                )
+                # post-plateau site: move.mdl was computed from this very
+                # blockmodel, so the audit can also check MDL drift here
+                integrity.site(
+                    move.bmap, move.blockmodel, "golden_section",
+                    tracked_mdl=move.mdl,
                 )
                 prop_stats.merge_proposals += merge.num_proposals_evaluated
                 prop_stats.merge_proposal_time_s += merge.proposal_time_s
@@ -562,6 +600,7 @@ class GSAPPartitioner:
             converged=converged,
             algorithm=self.name,
             resilience=stats,
+            integrity=integrity.stats,
         )
 
 

@@ -8,6 +8,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..graph.validation import densify_partition
+from ..integrity.manager import IntegrityStats
 from ..resilience.retry import ResilienceStats
 from ..types import IndexArray
 from .state import PhaseTimings, ProposalStats
@@ -45,6 +46,9 @@ class PartitionResult:
     resilience:
         What the fault-tolerance machinery did during the run (retries,
         absorbed faults, degradations, checkpoints).
+    integrity:
+        What the silent-corruption defense did during the run (audits,
+        corruptions detected, repairs by ladder rung).
     """
 
     partition: IndexArray
@@ -59,6 +63,7 @@ class PartitionResult:
     converged: bool = True
     algorithm: str = ""
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
+    integrity: IntegrityStats = field(default_factory=IntegrityStats)
 
     def __post_init__(self) -> None:
         self.partition = densify_partition(np.asarray(self.partition))

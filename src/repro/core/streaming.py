@@ -30,6 +30,7 @@ from ..errors import PartitionError
 from ..graph.csr import DiGraphCSR
 from ..graph.streaming import EdgeBatch, cumulative_graphs
 from ..gpusim.device import Device, get_default_device
+from ..integrity import IntegrityManager
 from ..resilience.retry import (
     FaultBudget,
     ResilienceStats,
@@ -156,13 +157,21 @@ class StreamingGSAP:
                         streams.get("assign", idx),
                     )
                     stage_bmap[stage_bmap < 0] = 0  # inactive parked in block 0
+                    integrity = IntegrityManager(
+                        config.integrity, device, graph,
+                        budget=budget, resilience_stats=stats,
+                    )
                     blockmodel = rebuild_blockmodel(
                         device, graph, stage_bmap, entry_blocks, "vertex_move"
+                    )
+                    blockmodel = integrity.site(
+                        stage_bmap, blockmodel, "vertex_move"
                     )
                     return run_vertex_move_phase(
                         device, graph, blockmodel, stage_bmap, config,
                         streams.get("refine", idx),
                         config.delta_entropy_threshold2,
+                        integrity=integrity,
                     )
 
                 outcome = with_retries(

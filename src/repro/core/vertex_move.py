@@ -166,6 +166,7 @@ def run_vertex_move_phase(
     initial_mdl_scale: Optional[float] = None,
     rebuild_fn: Callable[..., BlockmodelCSR] = rebuild_blockmodel,
     obs: Optional[Observability] = None,
+    integrity=None,
 ) -> VertexMoveOutcome:
     """Run batched async-Gibbs sweeps until the MDL plateaus.
 
@@ -185,6 +186,11 @@ def run_vertex_move_phase(
         the per-proposal ΔMDL distribution; disabled hub by default.
         Recording never consumes RNG draws, so a traced phase produces
         the exact same moves as an untraced one.
+    integrity:
+        Optional :class:`~repro.integrity.IntegrityManager`; gets an
+        integrity site (corruption exposure + cadenced audit/repair)
+        after every blockmodel rebuild.  Like *obs*, it never consumes
+        RNG draws.
     """
     obs = obs or NULL_OBS
     bmap = np.asarray(bmap, dtype=INDEX_DTYPE).copy()
@@ -245,6 +251,8 @@ def run_vertex_move_phase(
                     blockmodel = rebuild_fn(
                         device, graph, bmap, blockmodel.num_blocks, PHASE
                     )
+                    if integrity is not None:
+                        blockmodel = integrity.site(bmap, blockmodel, PHASE)
             new_mdl = description_length(blockmodel, num_vertices, total_weight)
             sweep_span.set(mdl=new_mdl, delta_mdl=mdl - new_mdl)
         obs.observe(
@@ -288,6 +296,7 @@ def run_vertex_move_phase_resilient(
     budget=None,
     label: str = "vertex_move",
     obs: Optional[Observability] = None,
+    integrity=None,
 ) -> VertexMoveOutcome:
     """Retry-wrapped :func:`run_vertex_move_phase`.
 
@@ -316,7 +325,7 @@ def run_vertex_move_phase_resilient(
             device, graph, blockmodel, entry_bmap.copy(), config,
             rng_factory(), threshold,
             initial_mdl_scale=initial_mdl_scale, rebuild_fn=rebuild_fn,
-            obs=obs,
+            obs=obs, integrity=integrity,
         )
 
     return with_retries(

@@ -80,3 +80,38 @@ class RetryExhaustedError(ReproError):
 
 class CheckpointError(ReproError):
     """A checkpoint is missing, truncated, or has an unsupported format."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file's content digest does not match its manifest.
+
+    Raised instead of deserializing garbage when a ``partition.npy`` /
+    ``state-*.npz`` payload was modified (bit rot, torn write, tampering)
+    after the manifest recorded its digest.  The message names the file.
+    """
+
+    def __init__(self, message: str, path: "str | None" = None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
+class NumericalError(ReproError):
+    """A numerical kernel produced a non-finite or impossible value.
+
+    Raised at the first non-finite intermediate (NaN/Inf entropy terms,
+    negative edge counts) so corruption surfaces as a typed error instead
+    of a NaN silently propagating into Metropolis-Hastings acceptance.
+    """
+
+
+class IntegrityError(ReproError):
+    """Blockmodel state failed an integrity audit.
+
+    Raised when the invariant auditor detects silent corruption and
+    repair is disabled (or the repair ladder is exhausted).  Carries the
+    list of violated invariants as :attr:`violations` (strings).
+    """
+
+    def __init__(self, message: str, violations: "list | None" = None) -> None:
+        super().__init__(message)
+        self.violations = list(violations or [])

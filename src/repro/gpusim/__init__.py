@@ -8,9 +8,11 @@ device accounts both wall time and an A4000-calibrated simulated time.
 from .device import (
     A4000,
     TINY_DEVICE,
+    BufferMismatch,
     Device,
     DeviceSpec,
     KernelCost,
+    buffer_digest,
     get_default_device,
     set_default_device,
 )
@@ -36,6 +38,8 @@ from .curand import (
 __all__ = [
     "A4000",
     "TINY_DEVICE",
+    "BufferMismatch",
+    "buffer_digest",
     "Device",
     "DeviceSpec",
     "KernelCost",

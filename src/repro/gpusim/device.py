@@ -19,14 +19,30 @@ at 1K vertices) and is reported as a secondary column in EXPERIMENTS.md.
 from __future__ import annotations
 
 import time
+import weakref
+import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional, TypeVar
+from typing import Callable, Iterator, List, Optional, TypeVar
 
 from ..errors import DeviceError, DeviceMemoryError, KernelLaunchError
 from .profiler import KernelRecord, Profiler
 
 T = TypeVar("T")
+
+
+def buffer_digest(array) -> int:
+    """CRC32 content digest of an array's bytes (cheap, not cryptographic)."""
+    return zlib.crc32(array.tobytes())
+
+
+@dataclass(frozen=True)
+class BufferMismatch:
+    """One device buffer whose content no longer matches its digest."""
+
+    allocation_id: int
+    expected: int
+    actual: int
 
 
 @dataclass(frozen=True)
@@ -119,17 +135,22 @@ class Device:
     leaf span nested under whatever span the caller has open.
     """
 
-    def __init__(self, spec: DeviceSpec = A4000) -> None:
+    def __init__(self, spec: DeviceSpec = A4000, track_digests: bool = False) -> None:
         self.spec = spec
         self.profiler = Profiler()
         self.fault_injector = None
         self.tracer = None
+        #: when True, DeviceArray buffers register CRC32 content digests
+        #: that :meth:`verify_buffers` can sweep for silent corruption
+        self.track_digests = track_digests
         self._allocated_bytes = 0
         self._sim_time_s = 0.0
         self._transfer_sim_time_s = 0.0
         self._live_allocations: dict[int, int] = {}
         self._next_allocation_id = 0
         self._active_phase: Optional[str] = None
+        # allocation id -> (weakref to the backing ndarray, crc32 digest)
+        self._digests: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     # memory accounting (used by memory.DeviceArray)
@@ -156,10 +177,66 @@ class Device:
         nbytes = self._live_allocations.pop(allocation_id, None)
         if nbytes is not None:
             self._allocated_bytes -= nbytes
+        self._digests.pop(allocation_id, None)
 
     @property
     def allocated_bytes(self) -> int:
         return self._allocated_bytes
+
+    # ------------------------------------------------------------------
+    # buffer content digests (silent-corruption detection)
+    # ------------------------------------------------------------------
+    def register_buffer(self, allocation_id: int, array) -> None:
+        """Record a content digest for *array* under *allocation_id*.
+
+        No-op unless :attr:`track_digests` is set.  Only a weak reference
+        to the array is held, so registration never extends buffer
+        lifetime; dead entries are dropped lazily.
+        """
+        if not self.track_digests:
+            return
+        self._digests[allocation_id] = (weakref.ref(array), buffer_digest(array))
+
+    def refresh_digest(self, allocation_id: int) -> None:
+        """Re-digest a registered buffer after an intentional write."""
+        entry = self._digests.get(allocation_id)
+        if entry is None:
+            return
+        array = entry[0]()
+        if array is None:
+            self._digests.pop(allocation_id, None)
+            return
+        self._digests[allocation_id] = (entry[0], buffer_digest(array))
+
+    def forget_buffer(self, allocation_id: int) -> None:
+        """Drop the digest entry for an allocation (idempotent)."""
+        self._digests.pop(allocation_id, None)
+
+    def verify_buffers(self) -> List[BufferMismatch]:
+        """Sweep all registered buffers; return those whose bytes changed.
+
+        Kernels legitimately rewrite buffers in place — callers are
+        expected to :meth:`refresh_digest` after intentional writes, so a
+        mismatch here means bytes changed *without* any code admitting to
+        the write: silent corruption.
+        """
+        mismatches: List[BufferMismatch] = []
+        for allocation_id, (ref, expected) in list(self._digests.items()):
+            array = ref()
+            if array is None:
+                self._digests.pop(allocation_id, None)
+                continue
+            actual = buffer_digest(array)
+            if actual != expected:
+                mismatches.append(
+                    BufferMismatch(allocation_id, expected=expected, actual=actual)
+                )
+        return mismatches
+
+    @property
+    def tracked_buffers(self) -> int:
+        """Number of live buffers currently carrying digests."""
+        return sum(1 for ref, _ in self._digests.values() if ref() is not None)
 
     # ------------------------------------------------------------------
     # clocks

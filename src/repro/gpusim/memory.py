@@ -42,6 +42,7 @@ class DeviceArray:
                 # (e.g. an injected transfer failure mid-fault-storm)
                 device.free(self._allocation_id)
                 raise
+        device.register_buffer(self._allocation_id, self._data)
         weakref.finalize(self, device.free, self._allocation_id)
 
     # ------------------------------------------------------------------
@@ -84,6 +85,16 @@ class DeviceArray:
     def copy(self) -> "DeviceArray":
         """Device-to-device copy (no PCIe charge)."""
         return DeviceArray(self._data.copy(), self._device, _transfer=False)
+
+    def refresh_digest(self) -> None:
+        """Re-register this buffer's content digest after a kernel wrote it.
+
+        No-op when the device is not tracking digests.  Kernels that
+        mutate a tracked buffer in place must call this, otherwise the
+        next :meth:`Device.verify_buffers` sweep reports the write as
+        corruption.
+        """
+        self._device.refresh_digest(self._allocation_id)
 
     def free(self) -> None:
         """Explicitly release the device allocation (optional)."""

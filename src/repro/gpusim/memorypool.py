@@ -119,6 +119,9 @@ class MemoryPool:
 
     def _return_block(self, handle: PooledAllocation) -> None:
         self.stats.releases += 1
+        # a recycled block must never carry the previous tenant's content
+        # digest, or the next verify sweep would flag reuse as corruption
+        self.device.forget_buffer(handle._device_id)
         if self.stats.bytes_held + handle.class_bytes <= self.max_cached_bytes:
             self._free[handle.class_bytes].append(handle._device_id)
             self.stats.bytes_held += handle.class_bytes

@@ -1,0 +1,25 @@
+"""Silent-corruption defense: checksums, invariant audits, self-healing.
+
+See ``docs/resilience.md`` ("Silent corruption and self-healing") for
+the threat model, the invariant catalog, and the repair ladder.
+"""
+
+from .auditor import (
+    STRUCTURE_TAGS,
+    InvariantViolation,
+    audit_blockmodel,
+    reference_blockmodel,
+    structure_arrays,
+)
+from .manager import REPAIR_RUNGS, IntegrityManager, IntegrityStats
+
+__all__ = [
+    "STRUCTURE_TAGS",
+    "InvariantViolation",
+    "audit_blockmodel",
+    "reference_blockmodel",
+    "structure_arrays",
+    "REPAIR_RUNGS",
+    "IntegrityManager",
+    "IntegrityStats",
+]

@@ -124,6 +124,18 @@ class Observability:
         if self.enabled:
             self.metrics.series(name, help).append(step, value)
 
+    def counter_total(self, name: str) -> float:
+        """Current value of a counter (0.0 when disabled or never bumped).
+
+        Read-side convenience for reports and tests — unlike
+        :meth:`count` it never *creates* the counter, so probing for a
+        metric (e.g. ``integrity_repairs_total``) leaves no trace.
+        """
+        if not self.enabled:
+            return 0.0
+        metric = self.metrics.get(name)
+        return float(metric.value) if metric is not None and hasattr(metric, "value") else 0.0
+
     # ------------------------------------------------------------------
     # checkpoint round-trip
     # ------------------------------------------------------------------

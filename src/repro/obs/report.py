@@ -99,6 +99,7 @@ def build_run_report(
             "move_avg_s": result.proposal_stats.move_avg_s(),
         },
         "resilience": result.resilience.to_dict(),
+        "integrity": result.integrity.to_dict(),
     }
 
     if obs is not None and obs.enabled:
@@ -252,6 +253,22 @@ def run_report_markdown(report: dict) -> str:
         ]
         for event in res.get("degradations", []):
             lines.append(f"- degraded: {event}")
+
+    integ = report.get("integrity") or {}
+    if integ.get("audits") or integ.get("corruptions_detected"):
+        lines += [
+            "",
+            "## Integrity",
+            "",
+            f"- invariant audits: {integ.get('audits', 0)}",
+            f"- corruptions detected: "
+            f"{integ.get('corruptions_detected', 0)}",
+            f"- repairs: {integ.get('repairs', 0)}",
+        ]
+        for rung, n in sorted((integ.get("repairs_by_rung") or {}).items()):
+            lines.append(f"- repaired via {rung}: {n}")
+        for violation in integ.get("violations", []):
+            lines.append(f"- violation: {violation}")
     return "\n".join(lines) + "\n"
 
 

@@ -5,6 +5,7 @@ and the mid-run checkpoint format this subsystem relies on.
 """
 
 from .faults import (
+    CORRUPTION_KINDS,
     FAULT_KINDS,
     FaultInjector,
     FaultLogEntry,
@@ -23,6 +24,7 @@ from .retry import (
 )
 
 __all__ = [
+    "CORRUPTION_KINDS",
     "FAULT_KINDS",
     "FaultInjector",
     "FaultLogEntry",

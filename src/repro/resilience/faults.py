@@ -24,6 +24,14 @@ Fault classes
 ``stream``
     Raises :class:`InjectedStreamFault` (a ``DeviceError``) from
     ``Stream.launch``.
+``bitflip``
+    Does not raise; *silently* flips one bit of a corruptible structure
+    exposed through :meth:`FaultInjector.on_corruptible` (CSR arrays,
+    block degrees, the assignment vector).  Detection is the integrity
+    subsystem's job (:mod:`repro.integrity`), not the injector's.
+``value_corrupt``
+    Does not raise; silently overwrites one element of a corruptible
+    structure with ``value``.
 """
 
 from __future__ import annotations
@@ -33,6 +41,8 @@ import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..errors import (
     DeviceError,
@@ -45,7 +55,17 @@ from ..rng import make_rng
 
 PathLike = Union[str, os.PathLike]
 
-FAULT_KINDS = ("oom", "kernel", "transfer_stall", "stream")
+FAULT_KINDS = (
+    "oom",
+    "kernel",
+    "transfer_stall",
+    "stream",
+    "bitflip",
+    "value_corrupt",
+)
+
+#: Fault kinds that corrupt state silently instead of raising.
+CORRUPTION_KINDS = ("bitflip", "value_corrupt")
 
 
 class InjectedMemoryFault(FaultInjected, DeviceMemoryError):
@@ -85,6 +105,19 @@ class FaultSpec:
         *actually* clear the fault — smaller batches move fewer bytes.
     stall_s:
         For ``transfer_stall``: simulated seconds added to the transfer.
+    target:
+        For corruption kinds: only structures exposed under this tag
+        (e.g. ``"csr_out_wgt"``, ``"bmap"``) increment the counter and
+        can be corrupted (``None`` matches every structure).
+    index:
+        For corruption kinds: flat element index to corrupt, taken
+        modulo the array length so any index is valid for any structure.
+    bit:
+        For ``bitflip``: which bit of the element to flip (0..63,
+        interpreted little-endian across the element's bytes).
+    value:
+        For ``value_corrupt``: the replacement value written into the
+        element (cast to the array's dtype).
     """
 
     kind: str
@@ -93,6 +126,10 @@ class FaultSpec:
     phase: Optional[str] = None
     min_bytes: int = 0
     stall_s: float = 0.0
+    target: Optional[str] = None
+    index: int = 0
+    bit: int = 0
+    value: float = -1.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -106,6 +143,10 @@ class FaultSpec:
             )
         if self.min_bytes < 0 or self.stall_s < 0:
             raise ReproError("min_bytes and stall_s must be non-negative")
+        if self.index < 0:
+            raise ReproError(f"corruption index must be >= 0, got {self.index}")
+        if not 0 <= self.bit < 64:
+            raise ReproError(f"bit must be in [0, 64), got {self.bit}")
 
     def to_dict(self) -> dict:
         return {
@@ -115,6 +156,10 @@ class FaultSpec:
             "phase": self.phase,
             "min_bytes": self.min_bytes,
             "stall_s": self.stall_s,
+            "target": self.target,
+            "index": self.index,
+            "bit": self.bit,
+            "value": self.value,
         }
 
     @classmethod
@@ -127,6 +172,10 @@ class FaultSpec:
                 phase=payload.get("phase"),
                 min_bytes=int(payload.get("min_bytes", 0)),
                 stall_s=float(payload.get("stall_s", 0.0)),
+                target=payload.get("target"),
+                index=int(payload.get("index", 0)),
+                bit=int(payload.get("bit", 0)),
+                value=float(payload.get("value", -1.0)),
             )
         except KeyError as exc:
             raise ReproError(f"fault spec missing key: {exc}") from exc
@@ -220,11 +269,17 @@ class FaultInjector:
         # one counter per (kind, phase-filter) so specs with a phase
         # filter count only matching operations
         self._counters: Dict[Tuple[str, Optional[str]], int] = {}
+        # corruption counters are keyed (kind, target-filter, phase-filter)
+        # so ``at=N`` indexes exposures of one specific structure
+        self._corruption_counters: Dict[
+            Tuple[str, Optional[str], Optional[str]], int
+        ] = {}
         self.log: List[FaultLogEntry] = []
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
         self._counters.clear()
+        self._corruption_counters.clear()
         self.log.clear()
 
     @property
@@ -307,6 +362,64 @@ class FaultInjector:
             raise InjectedStreamFault(
                 f"injected stream failure at launch #{index} {name!r}"
             )
+
+    # ------------------------------------------------------------------
+    # silent corruption
+    # ------------------------------------------------------------------
+    def _tick_corruption(
+        self, kind: str, target: str, phase: Optional[str]
+    ) -> List[Tuple[FaultSpec, int]]:
+        """Advance corruption counters for (*kind*, *target*, *phase*)."""
+        fired: List[Tuple[FaultSpec, int]] = []
+        targets = {None, target}
+        phases = {None, phase} if phase is not None else {None}
+        for tgt in targets:
+            for phs in phases:
+                key = (kind, tgt, phs)
+                index = self._corruption_counters.get(key, 0)
+                self._corruption_counters[key] = index + 1
+                for spec in self.plan.faults:
+                    if spec.kind != kind or spec.target != tgt or spec.phase != phs:
+                        continue
+                    if spec.at <= index < spec.at + spec.count:
+                        fired.append((spec, index))
+        return fired
+
+    @staticmethod
+    def _corrupt_array(spec: FaultSpec, array: np.ndarray) -> str:
+        """Apply one corruption in place; return a log detail string."""
+        flat = array.reshape(-1)
+        element = spec.index % flat.size
+        if spec.kind == "bitflip":
+            bit = spec.bit % (array.itemsize * 8)
+            raw = flat.view(np.uint8)
+            byte = element * array.itemsize + bit // 8
+            raw[byte] ^= np.uint8(1 << (bit % 8))
+            return f"flipped bit {bit} of element {element}"
+        old = flat[element]
+        flat[element] = np.asarray(spec.value).astype(array.dtype)
+        return f"element {element}: {old!r} -> {flat[element]!r}"
+
+    def on_corruptible(
+        self, tag: str, array: np.ndarray, phase: Optional[str] = None
+    ) -> bool:
+        """Called when a corruptible structure is exposed to the injector.
+
+        Structures are exposed by the integrity sites in the partitioner
+        (after every blockmodel rebuild).  Any scheduled ``bitflip`` /
+        ``value_corrupt`` fault matching *tag*/*phase* mutates *array*
+        **in place and silently** — no exception, no visible trace except
+        the injector log.  Returns ``True`` if the array was corrupted.
+        """
+        corrupted = False
+        if array.size == 0:
+            return corrupted
+        for kind in CORRUPTION_KINDS:
+            for spec, index in self._tick_corruption(kind, tag, phase):
+                detail = self._corrupt_array(spec, array)
+                self._record(spec, index, phase, f"{tag}: {detail}")
+                corrupted = True
+        return corrupted
 
 
 def install_fault_injector(device, plan: FaultPlan) -> FaultInjector:
