@@ -1,6 +1,6 @@
 # Convenience targets for the GSAP reproduction.
 
-.PHONY: install test test-fast test-faults test-integrity bench bench-paper examples lint clean
+.PHONY: install test test-fast test-faults test-integrity bench bench-incremental bench-paper examples lint clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -19,6 +19,9 @@ test-integrity:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+bench-incremental:
+	pytest benchmarks/bench_ablation_incremental.py --benchmark-only
 
 bench-paper:
 	GSAP_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only

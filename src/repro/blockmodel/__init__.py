@@ -11,6 +11,7 @@ from .delta import (
     precompute_block_term_sums,
 )
 from .dense import DenseBlockmodel
+from .incremental import IncrementalBlockmodel
 from .entropy import (
     data_log_posterior_csr,
     data_log_posterior_dense,
@@ -32,6 +33,7 @@ __all__ = [
     "move_delta_dense",
     "precompute_block_term_sums",
     "DenseBlockmodel",
+    "IncrementalBlockmodel",
     "data_log_posterior_csr",
     "data_log_posterior_dense",
     "description_length",

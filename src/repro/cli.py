@@ -110,6 +110,16 @@ def _add_partition(sub: argparse._SubParsersAction) -> None:
              "(chaos testing)",
     )
     p.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable incremental blockmodel maintenance and rebuild "
+             "with Algorithm 2 after every accepted batch (GSAP only)",
+    )
+    p.add_argument(
+        "--incremental-rebuild-every", type=int, default=0, metavar="N",
+        help="force a full rebuild every N incremental batch "
+             "applications (0 = pure incremental; GSAP only)",
+    )
+    p.add_argument(
         "--audit", action="store_true",
         help="audit blockmodel invariants during the run (GSAP only)",
     )
@@ -151,6 +161,21 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if args.checkpoint_every:
         resilience_changes["checkpoint_every"] = args.checkpoint_every
     config = SBPConfig(seed=args.seed)
+    if args.no_incremental:
+        config = config.replace(incremental_updates=False)
+    if args.incremental_rebuild_every:
+        config = config.replace(
+            incremental_rebuild_every=args.incremental_rebuild_every
+        )
+    if (args.no_incremental or args.incremental_rebuild_every) and (
+        args.algo != "GSAP"
+    ):
+        print(
+            f"--no-incremental/--incremental-rebuild-every are only "
+            f"supported for GSAP, not {args.algo}",
+            file=sys.stderr,
+        )
+        return 2
     if resilience_changes:
         config = config.replace(
             resilience=config.resilience.replace(**resilience_changes)

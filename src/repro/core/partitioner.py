@@ -12,8 +12,9 @@ Resilience
 Long runs survive device faults: every plateau executes under a
 :class:`~repro.resilience.RetryPolicy` (exponential backoff + jitter,
 a per-run fault budget), repeated out-of-memory faults walk a
-degradation ladder (halve the vertex-move batch size, then fall back to
-the host dense-blockmodel rebuild), and
+degradation ladder (disable incremental blockmodel maintenance, halve
+the vertex-move batch size, then fall back to the host dense-blockmodel
+rebuild), and
 ``partition(graph, checkpoint_dir=...)`` writes atomic mid-run
 snapshots a killed run resumes from via ``resume_from=...`` — reaching,
 for the same seed, the identical final partition as an uninterrupted
@@ -71,11 +72,23 @@ logger = get_logger("gsap")
 
 
 class _Degradation:
-    """Current rung of the OOM degradation ladder."""
+    """Current rung of the OOM degradation ladder.
 
-    def __init__(self, batch_halvings: int = 0, dense_rebuild: bool = False):
+    Rungs escalate: disable incremental blockmodel maintenance (its
+    padded-row storage and delta scratch are the first ballast to drop),
+    then halve the vertex-move batch size, then fall back to the host
+    dense rebuild.
+    """
+
+    def __init__(
+        self,
+        batch_halvings: int = 0,
+        dense_rebuild: bool = False,
+        no_incremental: bool = False,
+    ):
         self.batch_halvings = batch_halvings
         self.dense_rebuild = dense_rebuild
+        self.no_incremental = no_incremental
 
     def effective_config(self, config: SBPConfig) -> SBPConfig:
         if self.batch_halvings == 0:
@@ -93,6 +106,7 @@ class _Degradation:
         return {
             "batch_halvings": self.batch_halvings,
             "dense_rebuild": self.dense_rebuild,
+            "no_incremental": self.no_incremental,
         }
 
     @classmethod
@@ -100,6 +114,7 @@ class _Degradation:
         return cls(
             batch_halvings=int(payload.get("batch_halvings", 0)),
             dense_rebuild=bool(payload.get("dense_rebuild", False)),
+            no_incremental=bool(payload.get("no_incremental", False)),
         )
 
 
@@ -179,6 +194,24 @@ class GSAPPartitioner:
         device = self.device
         obs = self.obs
 
+        # Fresh maintainer per attempt: a faulted, retried attempt must
+        # never inherit padded-row state from the attempt it replaces.
+        incremental = None
+        if (
+            config.incremental_updates
+            and not degradation.no_incremental
+            and not degradation.dense_rebuild
+        ):
+            from ..blockmodel.incremental import IncrementalBlockmodel
+
+            incremental = IncrementalBlockmodel(
+                device, graph,
+                rebuild_fn=rebuild_fn,
+                rebuild_every=config.incremental_rebuild_every,
+                fallback_fraction=config.incremental_fallback_fraction,
+                obs=obs,
+            )
+
         t0 = time.perf_counter()
         with obs.span("block_merge", "phase", plateau=plateau_idx,
                       target=target):
@@ -191,7 +224,7 @@ class GSAPPartitioner:
             merge = run_block_merge_phase(
                 device, graph, blockmodel, bmap, target, config,
                 streams.get("block_merge", plateau_idx), rebuild_fn,
-                obs=obs, integrity=integrity,
+                obs=obs, integrity=integrity, incremental=incremental,
             )
         timings.block_merge_s += time.perf_counter() - t0
 
@@ -208,15 +241,24 @@ class GSAPPartitioner:
                 update_spent[0] += time.perf_counter() - r0
 
         t0 = time.perf_counter()
+        inc_spent0 = incremental.update_time_s if incremental is not None else 0.0
         with obs.span("vertex_move", "phase", plateau=plateau_idx):
             move = run_vertex_move_phase(
                 device, graph, merge.blockmodel, merge.bmap, config,
                 streams.get("vertex_move", plateau_idx),
                 threshold, initial_mdl_scale=initial_mdl,
                 rebuild_fn=timed_rebuild, obs=obs, integrity=integrity,
+                incremental=incremental,
             )
         timings.vertex_move_s += time.perf_counter() - t0
         timings.blockmodel_update_s += update_spent[0]
+        if incremental is not None:
+            # Maintenance time spent inside the vertex-move window only
+            # (merge-phase relabels stay inside block_merge_s, like the
+            # merge-round rebuilds always did).
+            timings.blockmodel_update_s += (
+                incremental.update_time_s - inc_spent0
+            )
         return merge, move
 
     def _run_plateau_resilient(
@@ -263,7 +305,17 @@ class GSAPPartitioner:
                     and isinstance(cause, DeviceMemoryError)
                 ):
                     raise
-                if degradation.batch_halvings < rcfg.max_batch_halvings:
+                if (
+                    self.config.incremental_updates
+                    and not degradation.no_incremental
+                ):
+                    degradation.no_incremental = True
+                    event = (
+                        f"plateau {plateau_idx}: persistent OOM; disabled "
+                        f"incremental blockmodel maintenance (full "
+                        f"Algorithm-2 rebuilds from here on)"
+                    )
+                elif degradation.batch_halvings < rcfg.max_batch_halvings:
                     degradation.batch_halvings += 1
                     eff = degradation.effective_config(self.config)
                     event = (

@@ -5,9 +5,12 @@ Within a batch every vertex proposes a destination block (Algorithm 1),
 its ΔMDL is evaluated against the *frozen* blockmodel (Eq. 7), and the
 Metropolis-Hastings test with Hastings correction decides acceptance; all
 accepted moves of the batch are applied together and the blockmodel is
-rebuilt on the device (Algorithm 2).  Freezing the blockmodel within a
-batch is the asynchronous-Gibbs approximation that makes the otherwise
-serial MCMC chain parallel.
+brought up to date on the device — by sparse delta application when an
+:class:`~repro.blockmodel.incremental.IncrementalBlockmodel` maintainer
+is supplied (the default partitioner path), else by a full Algorithm-2
+rebuild.  Both paths produce byte-identical blockmodels.  Freezing the
+blockmodel within a batch is the asynchronous-Gibbs approximation that
+makes the otherwise serial MCMC chain parallel.
 
 Sweeps stop when the moving average of the per-sweep MDL change drops
 below the configured threshold times the initial description length —
@@ -167,6 +170,7 @@ def run_vertex_move_phase(
     rebuild_fn: Callable[..., BlockmodelCSR] = rebuild_blockmodel,
     obs: Optional[Observability] = None,
     integrity=None,
+    incremental=None,
 ) -> VertexMoveOutcome:
     """Run batched async-Gibbs sweeps until the MDL plateaus.
 
@@ -179,8 +183,14 @@ def run_vertex_move_phase(
         The MDL scale the threshold is relative to; defaults to the MDL
         at phase entry.
     rebuild_fn:
-        Blockmodel rebuild used after each applied batch; the resilience
-        ladder substitutes the host dense path under memory pressure.
+        Blockmodel rebuild used after each applied batch when no
+        *incremental* maintainer is given; the resilience ladder
+        substitutes the host dense path under memory pressure.
+    incremental:
+        Optional :class:`~repro.blockmodel.incremental.IncrementalBlockmodel`
+        maintainer.  When given, accepted batches are applied as sparse
+        deltas (byte-identical to *rebuild_fn*'s output) and the cached
+        block term sums are patched in place of a full recompute.
     obs:
         Observability hub recording sweep spans, acceptance counters and
         the per-proposal ΔMDL distribution; disabled hub by default.
@@ -207,6 +217,15 @@ def run_vertex_move_phase(
     converged = False
     sweeps = 0
 
+    if incremental is not None:
+        incremental.ensure(blockmodel)
+    # Cached precompute_block_term_sums output, valid for exactly the
+    # blockmodel object it was computed from (identity check): batches
+    # after a zero-accept batch reuse it outright, and the incremental
+    # maintainer patches it across accepted batches.
+    term_sums: Optional[Tuple[np.ndarray, np.ndarray]] = None
+    term_sums_for: Optional[BlockmodelCSR] = None
+
     track_deltas = obs.enabled and obs.config.track_deltas
     for sweep in range(config.max_num_nodal_itr):
         sweeps = sweep + 1
@@ -226,7 +245,17 @@ def run_vertex_move_phase(
                 ctx = build_move_context(
                     device, graph, bmap, batch, prop.proposals, PHASE
                 )
-                term_sums = precompute_block_term_sums(device, blockmodel, PHASE)
+                if term_sums is None or term_sums_for is not blockmodel:
+                    term_sums = precompute_block_term_sums(
+                        device, blockmodel, PHASE
+                    )
+                    term_sums_for = blockmodel
+                else:
+                    obs.count(
+                        "blockmodel_term_sums_skipped_total",
+                        help="per-batch term-sum recomputes skipped "
+                        "(blockmodel unchanged or sums patched)",
+                    )
                 delta = move_delta_batch(device, blockmodel, ctx, term_sums, PHASE)
                 hastings = hastings_correction_batch(device, blockmodel, ctx, PHASE)
                 accept = accept_moves(device, delta, hastings, config.beta, rng, PHASE)
@@ -246,13 +275,34 @@ def run_vertex_move_phase(
                         help="per-proposal ΔMDL (Eq. 7)",
                     )
                 if num_accepted:
-                    bmap[batch[accept]] = prop.proposals[accept]
+                    movers = batch[accept]
+                    bmap[movers] = prop.proposals[accept]
                     accepted_total += num_accepted
-                    blockmodel = rebuild_fn(
-                        device, graph, bmap, blockmodel.num_blocks, PHASE
-                    )
+                    if incremental is not None:
+                        blockmodel, term_sums = incremental.apply_batch(
+                            bmap, movers, ctx.r[accept],
+                            prop.proposals[accept], PHASE,
+                            term_sums=term_sums,
+                        )
+                        term_sums_for = blockmodel if term_sums is not None else None
+                    else:
+                        blockmodel = rebuild_fn(
+                            device, graph, bmap, blockmodel.num_blocks, PHASE
+                        )
+                        term_sums, term_sums_for = None, None
+                        obs.count(
+                            "blockmodel_full_rebuilds_total",
+                            help="full Algorithm-2 blockmodel rebuilds",
+                        )
                     if integrity is not None:
-                        blockmodel = integrity.site(bmap, blockmodel, PHASE)
+                        repaired = integrity.site(bmap, blockmodel, PHASE)
+                        if repaired is not blockmodel:
+                            # A repair rebuilt state from scratch; drop
+                            # every cache keyed to the old object.
+                            blockmodel = repaired
+                            term_sums, term_sums_for = None, None
+                            if incremental is not None:
+                                incremental.reset(blockmodel)
             new_mdl = description_length(blockmodel, num_vertices, total_weight)
             sweep_span.set(mdl=new_mdl, delta_mdl=mdl - new_mdl)
         obs.observe(
@@ -297,6 +347,7 @@ def run_vertex_move_phase_resilient(
     label: str = "vertex_move",
     obs: Optional[Observability] = None,
     integrity=None,
+    incremental=None,
 ) -> VertexMoveOutcome:
     """Retry-wrapped :func:`run_vertex_move_phase`.
 
@@ -325,7 +376,7 @@ def run_vertex_move_phase_resilient(
             device, graph, blockmodel, entry_bmap.copy(), config,
             rng_factory(), threshold,
             initial_mdl_scale=initial_mdl_scale, rebuild_fn=rebuild_fn,
-            obs=obs, integrity=integrity,
+            obs=obs, integrity=integrity, incremental=incremental,
         )
 
     return with_retries(

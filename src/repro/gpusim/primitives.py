@@ -188,15 +188,40 @@ def segmented_reduce_sum(
     seg_ptr: np.ndarray,
     phase: Optional[str] = None,
 ) -> np.ndarray:
-    """Per-segment sums over a CSR-pointed layout (empty segments → 0)."""
+    """Per-segment sums over a CSR-pointed layout (empty segments → 0).
+
+    Each segment is reduced independently of every other segment (one
+    ``np.add.reduceat`` slice per segment), so a segment's sum depends
+    *only* on that segment's values.  The incremental blockmodel
+    maintainer relies on this: re-reducing one untouched segment in
+    isolation reproduces the bit-identical float sum a full pass would
+    produce, which is what lets it patch cached per-block entropy term
+    sums instead of recomputing all of them.
+    """
     values = np.asarray(values)
     seg_ptr = np.asarray(seg_ptr)
 
     def body() -> np.ndarray:
-        csum = np.zeros(len(values) + 1, dtype=np.result_type(values.dtype, np.int64)
-                        if values.dtype.kind in "iu" else values.dtype)
-        np.cumsum(values, out=csum[1:])
-        return csum[seg_ptr[1:]] - csum[seg_ptr[:-1]]
+        dtype = (np.result_type(values.dtype, np.int64)
+                 if values.dtype.kind in "iu" else values.dtype)
+        num_segments = max(len(seg_ptr) - 1, 0)
+        out = np.zeros(num_segments, dtype=dtype)
+        if len(values) == 0 or num_segments == 0:
+            return out
+        lengths = seg_ptr[1:] - seg_ptr[:-1]
+        nonempty = np.flatnonzero(lengths > 0)
+        if len(nonempty):
+            starts = np.asarray(seg_ptr[:-1][nonempty], dtype=np.intp)
+            tail = int(seg_ptr[-1])
+            if tail < len(values):
+                # reduceat's final slice runs to the end of *values*;
+                # cap it at seg_ptr[-1] with a sentinel start.
+                starts = np.append(starts, tail)
+                sums = np.add.reduceat(values.astype(dtype, copy=False), starts)[:-1]
+            else:
+                sums = np.add.reduceat(values.astype(dtype, copy=False), starts)
+            out[nonempty] = sums
+        return out
 
     return device.execute(
         "segmented_reduce_sum", _cost_linear(len(values), 2.0), body, phase
