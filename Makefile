@@ -1,6 +1,9 @@
 # Convenience targets for the GSAP reproduction.
 
-.PHONY: install test test-fast test-faults test-integrity bench bench-incremental bench-paper examples lint clean
+.PHONY: install test test-fast test-faults test-integrity bench bench-incremental bench-paper perf-baseline perf-check perf-trend examples lint clean
+
+PERF_BASELINE := benchmarks/baselines/perf_baseline_quick.json
+PERF_REPEATS  := 5
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,6 +28,23 @@ bench-incremental:
 
 bench-paper:
 	GSAP_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only
+
+# record a fresh quick-scale baseline (commit the record + trajectory)
+perf-baseline:
+	PYTHONPATH=src python -m repro perf run --suite gate \
+	  --repeats $(PERF_REPEATS) --warmup 1 --label quick-baseline \
+	  --out $(PERF_BASELINE) --append-trajectory BENCH_trajectory.json
+
+# compare a fresh run against the committed baseline (the CI perf gate)
+perf-check:
+	PYTHONPATH=src python -m repro perf run --suite gate \
+	  --repeats $(PERF_REPEATS) --warmup 1 --label perf-check \
+	  --out /tmp/gsap_perf_candidate.json
+	PYTHONPATH=src python -m repro perf compare $(PERF_BASELINE) \
+	  /tmp/gsap_perf_candidate.json --fail-on-regression
+
+perf-trend:
+	PYTHONPATH=src python -m repro perf trend
 
 examples:
 	python examples/quickstart.py

@@ -8,7 +8,7 @@ cost.  This ablation quantifies the runtime/quality trade on one graph.
 
 import pytest
 
-from _bench_utils import pedantic_once
+from _bench_utils import ablation_workload, pedantic_once, write_bench_record
 from repro.bench.workloads import bench_config
 from repro.core.partitioner import GSAPPartitioner
 from repro.graph.datasets import load_dataset
@@ -30,6 +30,20 @@ def test_batch_count(benchmark, num_batches):
 
 def test_zzz_report(benchmark, capsys):
     assert pedantic_once(benchmark, lambda: _RESULTS)
+    write_bench_record(
+        "ablation_batches",
+        [
+            ablation_workload(
+                f"GSAP/low_low/500#batches={k}",
+                runtime_s=[_RESULTS[k][0]],
+                category="low_low", num_vertices=500,
+                variant=f"batches={k}",
+                quality={"nmi": [_RESULTS[k][1]]},
+            )
+            for k in sorted(_RESULTS)
+        ],
+        seed=1, label="num_batches_for_MCMC_sensitivity",
+    )
     with capsys.disabled():
         print("\n\n### Ablation: num_batches_for_MCMC (low_low, 500 vertices)\n")
         print("| batches | runtime | NMI |")

@@ -9,7 +9,7 @@ two agree numerically (the agreement is asserted, not assumed).
 import numpy as np
 import pytest
 
-from _bench_utils import pedantic_once
+from _bench_utils import ablation_workload, pedantic_once, write_bench_record
 from repro.blockmodel.delta import merge_delta_batch
 from repro.blockmodel.dense import DenseBlockmodel
 from repro.blockmodel.entropy import data_log_posterior_dense
@@ -73,6 +73,23 @@ def test_zzz_agreement_and_speedup(benchmark, capsys):
     )
     speedup = pedantic_once(
         benchmark, lambda: _TIMES["full"] / _TIMES["decomposed"]
+    )
+    write_bench_record(
+        "ablation_delta",
+        [
+            ablation_workload(
+                f"delta_mdl/low_low/1000#{variant}",
+                runtime_s=[_TIMES[key]],
+                algorithm="microbench", category="low_low",
+                num_vertices=1_000, variant=variant,
+            )
+            for variant, key in (
+                ("decomposed", "decomposed"), ("full_recompute", "full"),
+            )
+        ],
+        label="delta_mdl_decomposition_vs_full_recompute",
+        extras={"decomposed_speedup": speedup,
+                "merge_candidates": _B * (_B - 1)},
     )
     with capsys.disabled():
         print(f"\n\n### Ablation: ΔMDL decomposition vs full recompute — "

@@ -12,7 +12,7 @@ count, exactly the trade the paper cites.
 
 import pytest
 
-from _bench_utils import pedantic_once
+from _bench_utils import ablation_workload, pedantic_once, write_bench_record
 from repro.baselines.edist import EDiStPartitioner
 from repro.bench.workloads import bench_config
 from repro.graph.datasets import load_dataset
@@ -31,6 +31,7 @@ def test_edist_at_rank_count(benchmark, ranks):
         partitioner.comm.bytes_sent,
         partitioner.comm.messages,
         nmi(result.partition, truth),
+        result.total_time_s,
     )
 
 
@@ -39,14 +40,32 @@ def test_zzz_report(benchmark, capsys):
     rows = pedantic_once(
         benchmark, lambda: [(k, *_RESULTS[k]) for k in sorted(_RESULTS)]
     )
+    write_bench_record(
+        "ablation_distributed",
+        [
+            ablation_workload(
+                f"EDiSt/low_low/200#ranks={ranks}",
+                runtime_s=[runtime],
+                algorithm="EDiSt", category="low_low", num_vertices=200,
+                variant=f"ranks={ranks}",
+                quality={"nmi": [quality]},
+            )
+            for ranks, _nbytes, _messages, quality, runtime in rows
+        ],
+        seed=4, label="edist_all_to_all_volume",
+        extras={
+            "bytes_on_wire": {str(r): n for r, n, _, _, _ in rows},
+            "messages": {str(r): m for r, _, m, _, _ in rows},
+        },
+    )
     with capsys.disabled():
         print("\n\n### Ablation: EDiSt all-to-all volume vs rank count "
               "(low_low, 200 vertices)\n")
         print("| ranks | bytes on wire | messages | NMI |")
         print("|---|---|---|---|")
-        for ranks, nbytes, messages, quality in rows:
+        for ranks, nbytes, messages, quality, _runtime in rows:
             print(f"| {ranks} | {nbytes:,} | {messages:,} | {quality:.3f} |")
     # communication grows with rank count; quality does not improve
-    volumes = [v for _, v, _, _ in rows]
+    volumes = [v for _, v, _, _, _ in rows]
     assert volumes == sorted(volumes)
     assert volumes[-1] > volumes[1] > volumes[0] == 0

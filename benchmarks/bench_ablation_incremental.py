@@ -8,14 +8,10 @@ and the incremental run must spend strictly less time in the profiler's
 ratio is written to ``BENCH_incremental.json`` at the repository root.
 """
 
-import json
-import platform
-from pathlib import Path
-
 import numpy as np
 import pytest
 
-from _bench_utils import pedantic_once
+from _bench_utils import ablation_workload, pedantic_once, write_bench_record
 from repro.config import SBPConfig
 from repro.core.partitioner import GSAPPartitioner
 from repro.graph.datasets import load_dataset
@@ -57,20 +53,30 @@ def test_zzz_identity_and_report(benchmark, capsys):
     full_s = full.timings.blockmodel_update_s
     ratio = pedantic_once(benchmark, lambda: full_s / inc_s)
 
-    payload = {
-        "benchmark": "incremental_blockmodel_maintenance",
-        "category": _CATEGORY,
-        "vertices": _SIZE,
-        "seed": _SEED,
-        "blockmodel_update_s": {"incremental": inc_s, "rebuild": full_s},
-        "speedup": ratio,
-        "partitions_identical": True,
-        "mdl": inc.mdl,
-        "num_blocks": inc.num_blocks,
-        "python": platform.python_version(),
-    }
-    out = Path(__file__).resolve().parent.parent / "BENCH_incremental.json"
-    out.write_text(json.dumps(payload, indent=2) + "\n")
+    workloads = [
+        ablation_workload(
+            f"GSAP/{_CATEGORY}/{_SIZE}#{variant}",
+            runtime_s=[result.total_time_s],
+            sim_time_s=[result.sim_time_s],
+            category=_CATEGORY, num_vertices=_SIZE, variant=variant,
+            phases={"blockmodel_update_s": [
+                result.timings.blockmodel_update_s
+            ]},
+            quality={"mdl": [result.mdl],
+                     "num_blocks": [result.num_blocks]},
+        )
+        for variant, result in (("incremental", inc), ("rebuild", full))
+    ]
+    out = write_bench_record(
+        "incremental", workloads, seed=_SEED,
+        label="incremental_blockmodel_maintenance",
+        extras={
+            "blockmodel_update_s": {"incremental": inc_s, "rebuild": full_s},
+            "speedup": ratio,
+            "partitions_identical": True,
+        },
+        filename="BENCH_incremental.json",
+    )
 
     with capsys.disabled():
         print(f"\n\n### Ablation: incremental maintenance vs per-batch "

@@ -9,7 +9,7 @@ number of proposal slots.
 import numpy as np
 import pytest
 
-from _bench_utils import pedantic_once
+from _bench_utils import ablation_workload, pedantic_once, write_bench_record
 from repro.blockmodel.update import rebuild_blockmodel
 from repro.core.proposals import combined_block_adjacency, propose_block_merges
 from repro.graph.datasets import load_dataset
@@ -91,6 +91,20 @@ def test_zzz_table_path_wins(benchmark, capsys):
     assert set(_TIMES) == {"table", "on_demand"}
     speedup = pedantic_once(
         benchmark, lambda: _TIMES["on_demand"] / _TIMES["table"]
+    )
+    write_bench_record(
+        "ablation_proposals",
+        [
+            ablation_workload(
+                f"proposals/low_low/1000#{variant}",
+                runtime_s=[_TIMES[variant]],
+                algorithm="microbench", category="low_low",
+                num_vertices=1_000, variant=variant,
+            )
+            for variant in ("table", "on_demand")
+        ],
+        label="lookup_table_vs_on_demand_proposals",
+        extras={"table_speedup": speedup},
     )
     with capsys.disabled():
         print(f"\n\n### Ablation: lookup tables vs on-demand sampling — "

@@ -12,7 +12,7 @@ in the many-small-kernel regime of small graphs (paper Table 3's 1K row).
 import numpy as np
 import pytest
 
-from _bench_utils import pedantic_once
+from _bench_utils import ablation_workload, pedantic_once, write_bench_record
 from repro.gpusim.device import A4000, Device, KernelCost
 from repro.gpusim.taskgraph import TaskGraph
 
@@ -80,6 +80,22 @@ def test_zzz_report(benchmark, capsys):
         benchmark, lambda: _TIMES["individual"] / _TIMES["graph"]
     )
     launches = REPLAYS * 2 * len(PIPELINE)
+    write_bench_record(
+        "ablation_taskgraph",
+        [
+            ablation_workload(
+                f"rebuild_pipeline/sim#{variant}",
+                # the measured clock here is simulated device seconds
+                runtime_s=[_TIMES[variant]],
+                sim_time_s=[_TIMES[variant]],
+                algorithm="microbench", variant=variant,
+            )
+            for variant in ("individual", "graph")
+        ],
+        label="task_graph_replay_vs_individual_launches",
+        extras={"graph_speedup": speedup, "launches": launches,
+                "clock": "sim"},
+    )
     with capsys.disabled():
         print(f"\n\n### Ablation: task-graph replay vs {launches} individual "
               f"launches — {speedup:.1f}x less simulated device time "

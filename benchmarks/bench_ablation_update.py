@@ -13,7 +13,7 @@ import time
 import numpy as np
 import pytest
 
-from _bench_utils import pedantic_once
+from _bench_utils import ablation_workload, pedantic_once, write_bench_record
 from repro.baselines.common import vertex_neighborhood
 from repro.blockmodel.dense import DenseBlockmodel
 from repro.blockmodel.update import rebuild_blockmodel
@@ -88,6 +88,20 @@ def test_zzz_agreement_and_report(benchmark, capsys):
     )
     ratio = pedantic_once(
         benchmark, lambda: _TIMES["incremental"] / _TIMES["rebuild"]
+    )
+    write_bench_record(
+        "ablation_update",
+        [
+            ablation_workload(
+                f"update/low_low/{_SIZE}#{variant}",
+                runtime_s=[_TIMES[variant]],
+                algorithm="microbench", category="low_low",
+                num_vertices=_SIZE, variant=variant,
+            )
+            for variant in ("rebuild", "incremental")
+        ],
+        label="algorithm2_rebuild_vs_incremental_dense",
+        extras={"rebuild_speedup": ratio, "moves": _SIZE // 4},
     )
     with capsys.disabled():
         print(f"\n\n### Ablation: Algorithm-2 rebuild vs incremental dense "

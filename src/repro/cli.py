@@ -11,6 +11,11 @@ Subcommands
 ``verify``
     Audit a saved result or run checkpoint offline: content digests plus
     the full blockmodel invariant audit (with ``--edges``).
+``perf``
+    The performance observatory: ``perf run`` records a repeat-k bench
+    record, ``perf compare`` diffs two records with statistical gates
+    (``--fail-on-regression`` for CI), ``perf trend`` renders the
+    append-only trajectory dashboard.
 ``info``
     Print the dataset registry (paper Table 1) at the library's scales.
 """
@@ -288,7 +293,10 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             print(f"trace written to {args.trace_out} "
                   f"({len(obs.tracer.spans())} spans)")
         if args.metrics_out:
-            write_prometheus(obs.metrics, args.metrics_out)
+            write_prometheus(
+                obs.metrics, args.metrics_out,
+                labels={"algorithm": result.algorithm, "seed": args.seed},
+            )
             print(f"metrics written to {args.metrics_out}")
         if args.events_out:
             write_jsonl(args.events_out, obs.tracer, obs.metrics)
@@ -592,6 +600,193 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return status
 
 
+def _add_perf(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "perf",
+        help="performance observatory: record, compare, trend",
+    )
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+
+    run_p = perf_sub.add_parser(
+        "run", help="run a workload suite repeat-k and write a bench record"
+    )
+    run_p.add_argument("--out", required=True, metavar="FILE",
+                       help="bench record JSON output path")
+    run_p.add_argument("--repeats", type=int, default=5,
+                       help="retained repeats per workload (default 5)")
+    run_p.add_argument("--warmup", type=int, default=1,
+                       help="discarded warmup runs per workload (default 1)")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--label", default="",
+                       help="label recorded in the bench record")
+    run_p.add_argument(
+        "--suite", choices=["gate", "matrix"], default="gate",
+        help="gate: the CI perf-gate workloads (default); matrix: the "
+             "full bench matrix at the active scale",
+    )
+    run_p.add_argument(
+        "--no-obs", action="store_true",
+        help="run without observability (record carries no tracer data)",
+    )
+    run_p.add_argument(
+        "--append-trajectory", metavar="FILE",
+        help="append a condensed entry to this trajectory file",
+    )
+    run_p.add_argument(
+        "--trace-out", metavar="FILE",
+        help="write a Chrome trace of the last traced run",
+    )
+    run_p.set_defaults(func=_cmd_perf_run)
+
+    cmp_p = perf_sub.add_parser(
+        "compare", help="diff a candidate bench record against a baseline"
+    )
+    cmp_p.add_argument("baseline", help="baseline bench record JSON")
+    cmp_p.add_argument("candidate", help="candidate bench record JSON")
+    cmp_p.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="workload runtime ratio tolerance (default 0.25 = 25%%)",
+    )
+    cmp_p.add_argument(
+        "--kernel-tolerance", type=float, default=0.50,
+        help="per-kernel wall-time ratio tolerance (default 0.50)",
+    )
+    cmp_p.add_argument(
+        "--alpha", type=float, default=0.10,
+        help="Mann-Whitney significance level (default 0.10)",
+    )
+    cmp_p.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero when any regression verdict fires",
+    )
+    cmp_p.add_argument(
+        "--json-out", metavar="FILE",
+        help="also write the machine-readable comparison report",
+    )
+    cmp_p.set_defaults(func=_cmd_perf_compare)
+
+    trend_p = perf_sub.add_parser(
+        "trend", help="render the bench trajectory as a Markdown dashboard"
+    )
+    trend_p.add_argument(
+        "--trajectory", default="BENCH_trajectory.json", metavar="FILE",
+        help="trajectory file (default BENCH_trajectory.json)",
+    )
+    trend_p.add_argument(
+        "--metric", default="runtime_s",
+        choices=["runtime_s", "sim_time_s", "blockmodel_update_s", "nmi",
+                 "mdl"],
+    )
+    trend_p.add_argument("--out", metavar="FILE",
+                         help="write the dashboard instead of printing")
+    trend_p.set_defaults(func=_cmd_perf_trend)
+
+
+def _cmd_perf_run(args: argparse.Namespace) -> int:
+    from .bench.workloads import full_matrix
+    from .perf import (
+        PerfWorkload,
+        append_trajectory,
+        gate_workloads,
+        run_workloads,
+        write_record,
+    )
+
+    if args.suite == "matrix":
+        workloads = [
+            PerfWorkload(spec)
+            for spec in full_matrix(("uSAP", "I-SBP", "GSAP"))
+        ]
+    else:
+        workloads = gate_workloads()
+    record = run_workloads(
+        workloads,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        seed=args.seed,
+        label=args.label,
+        collect_obs=not args.no_obs,
+        progress=lambda msg: print(f"  {msg}", flush=True),
+        trace_out=args.trace_out,
+    )
+    write_record(record, args.out)
+    print(
+        f"bench record written to {args.out} "
+        f"({len(record['workloads'])} workloads x {args.repeats} repeats)"
+    )
+    if args.trace_out:
+        print(f"trace written to {args.trace_out}")
+    if args.append_trajectory:
+        trajectory = append_trajectory(args.append_trajectory, record)
+        print(
+            f"trajectory {args.append_trajectory} now holds "
+            f"{len(trajectory['entries'])} entr(y/ies)"
+        )
+    return 0
+
+
+def _cmd_perf_compare(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .perf import (
+        BenchRecordError,
+        CompareOptions,
+        compare_markdown,
+        compare_records,
+        load_record,
+    )
+
+    try:
+        baseline = load_record(args.baseline)
+        candidate = load_record(args.candidate)
+    except BenchRecordError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    options = CompareOptions(
+        tolerance=args.tolerance,
+        kernel_tolerance=args.kernel_tolerance,
+        alpha=args.alpha,
+    )
+    report = compare_records(baseline, candidate, options)
+    print(compare_markdown(report), end="")
+    for warning in report.environment_warnings:
+        print(f"warning: cross-environment comparison: {warning}",
+              file=sys.stderr)
+    if args.json_out:
+        out = Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            _json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"comparison report written to {args.json_out}")
+    if report.has_regressions and args.fail_on_regression:
+        print(
+            f"FAIL: {len(report.regressions)} perf regression(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_perf_trend(args: argparse.Namespace) -> int:
+    from .perf import BenchRecordError, load_trajectory, trend_markdown
+
+    try:
+        trajectory = load_trajectory(args.trajectory)
+    except BenchRecordError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    dashboard = trend_markdown(trajectory, metric=args.metric)
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(dashboard, encoding="utf-8")
+        print(f"trend dashboard written to {args.out}")
+    else:
+        print(dashboard, end="")
+    return 0
+
+
 def _add_info(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("info", help="print the dataset registry (Table 1)")
     p.set_defaults(func=_cmd_info)
@@ -627,6 +822,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_analyze(sub)
     _add_hierarchy(sub)
     _add_verify(sub)
+    _add_perf(sub)
     _add_info(sub)
     return parser
 

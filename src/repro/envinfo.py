@@ -1,0 +1,96 @@
+"""Environment fingerprinting shared by run reports and bench records.
+
+A fingerprint pins down everything that makes two timing measurements
+comparable: interpreter and NumPy versions, the platform, the active
+benchmark scale and the git commit the code was built from.  Run
+reports (:mod:`repro.obs.report`) and bench records
+(:mod:`repro.perf.record`) embed the same block, so provenance follows
+every number the repo publishes, and ``gsap perf compare`` can warn
+when a comparison crosses environments.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+from typing import Dict, List, Optional
+
+FINGERPRINT_KEYS = (
+    "python",
+    "implementation",
+    "numpy",
+    "platform",
+    "machine",
+    "bench_scale",
+    "git_sha",
+)
+
+#: keys whose mismatch makes timing comparisons suspect (git_sha is
+#: *expected* to differ between a baseline and a candidate).
+COMPARABILITY_KEYS = (
+    "python",
+    "implementation",
+    "numpy",
+    "platform",
+    "machine",
+    "bench_scale",
+)
+
+
+def _git_sha() -> Optional[str]:
+    """Current git commit, or ``None`` outside a repository.
+
+    ``GSAP_GIT_SHA`` overrides (useful for containers shipping an
+    exported tree without ``.git``).
+    """
+    env_sha = os.environ.get("GSAP_GIT_SHA")
+    if env_sha:
+        return env_sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            capture_output=True, text=True, timeout=5.0,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_fingerprint() -> Dict[str, Optional[str]]:
+    """The environment block embedded in reports and bench records."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy_version,
+        "platform": platform.system(),
+        "machine": platform.machine(),
+        "bench_scale": os.environ.get("GSAP_BENCH_SCALE", "quick"),
+        "git_sha": _git_sha(),
+    }
+
+
+def fingerprint_mismatches(
+    a: Optional[dict], b: Optional[dict]
+) -> List[str]:
+    """Human-readable differences that undermine cross-record comparisons.
+
+    Only :data:`COMPARABILITY_KEYS` are checked — two records *should*
+    differ in ``git_sha`` (that is the point of comparing them).  A
+    missing fingerprint on either side is itself reported.
+    """
+    if not a or not b:
+        return ["one or both records carry no environment fingerprint"]
+    problems = []
+    for key in COMPARABILITY_KEYS:
+        va, vb = a.get(key), b.get(key)
+        if va != vb:
+            problems.append(f"{key}: baseline={va!r} candidate={vb!r}")
+    return problems

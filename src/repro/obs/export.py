@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import re
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -119,47 +120,106 @@ def write_jsonl(
 # Prometheus text exposition format
 # ----------------------------------------------------------------------
 def _fmt(value: float) -> str:
+    """A sample value per the exposition format: ``+Inf``/``-Inf``/``NaN``.
+
+    NaN is a *valid* Prometheus sample value (spelled exactly ``NaN``);
+    ``%g`` would render it ``nan``, which scrapers reject.
+    """
+    if math.isnan(value):
+        return "NaN"
     if math.isinf(value):
         return "+Inf" if value > 0 else "-Inf"
     return f"{value:.10g}"
 
 
-def prometheus_text(registry: MetricsRegistry, prefix: str = "gsap_") -> str:
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and line feed only (format 0.0.4)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Label value escaping: backslash, double quote and line feed."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _label_str(labels: Optional[Dict[str, object]], extra: str = "") -> str:
+    """Render a label set as ``{k="v",...}`` (empty string when none).
+
+    *extra* is a pre-rendered pair (the histogram ``le``) appended last.
+    """
+    pairs: List[str] = []
+    for key, value in (labels or {}).items():
+        if not _LABEL_NAME_RE.match(key):
+            raise ValueError(
+                f"label name {key!r} is not Prometheus-compatible "
+                "([a-zA-Z_][a-zA-Z0-9_]*)"
+            )
+        pairs.append(f'{key}="{_escape_label_value(str(value))}"')
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def prometheus_text(
+    registry: MetricsRegistry,
+    prefix: str = "gsap_",
+    labels: Optional[Dict[str, object]] = None,
+) -> str:
     """Render the registry in Prometheus text format 0.0.4.
 
     Counters/gauges map directly; histograms emit cumulative
-    ``_bucket{le=...}`` lines plus ``_sum``/``_count``; a series is
-    exposed as a gauge holding its latest value (the full trajectory
-    belongs in the JSONL/report exports).
+    ``_bucket{le=...}`` lines (the spec-mandated ``+Inf`` bucket last)
+    plus ``_sum``/``_count``; a series is exposed as a gauge holding
+    its latest value (the full trajectory belongs in the JSONL/report
+    exports).  *labels* attach to every sample line — run-level
+    provenance such as ``{"algorithm": "GSAP", "seed": 7}`` — with
+    values escaped per the exposition format.
     """
     lines: List[str] = []
+    lbl = _label_str(labels)
     for metric in sorted(registry, key=lambda m: m.name):
         name = f"{prefix}{metric.name}"
         if metric.help:
-            lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# HELP {name} {_escape_help(metric.help)}")
         if isinstance(metric, Counter):
             lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {_fmt(metric.value)}")
+            lines.append(f"{name}{lbl} {_fmt(metric.value)}")
         elif isinstance(metric, Gauge):
             lines.append(f"# TYPE {name} gauge")
-            lines.append(f"{name} {_fmt(metric.value)}")
+            lines.append(f"{name}{lbl} {_fmt(metric.value)}")
         elif isinstance(metric, Histogram):
             lines.append(f"# TYPE {name} histogram")
             for bound, cum in metric.cumulative_buckets():
-                lines.append(f'{name}_bucket{{le="{_fmt(bound)}"}} {cum}')
-            lines.append(f"{name}_sum {_fmt(metric.sum)}")
-            lines.append(f"{name}_count {metric.count}")
+                bucket_lbl = _label_str(labels, extra=f'le="{_fmt(bound)}"')
+                lines.append(f"{name}_bucket{bucket_lbl} {cum}")
+            lines.append(f"{name}_sum{lbl} {_fmt(metric.sum)}")
+            lines.append(f"{name}_count{lbl} {metric.count}")
         elif isinstance(metric, Series):
             lines.append(f"# TYPE {name} gauge")
             last = metric.last
-            lines.append(f"{name} {_fmt(last if last is not None else 0.0)}")
+            lines.append(
+                f"{name}{lbl} {_fmt(last if last is not None else 0.0)}"
+            )
     return "\n".join(lines) + ("\n" if lines else "")
 
 
 def write_prometheus(
-    registry: MetricsRegistry, path: PathLike, prefix: str = "gsap_"
+    registry: MetricsRegistry,
+    path: PathLike,
+    prefix: str = "gsap_",
+    labels: Optional[Dict[str, object]] = None,
 ) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(prometheus_text(registry, prefix=prefix), encoding="utf-8")
+    path.write_text(
+        prometheus_text(registry, prefix=prefix, labels=labels),
+        encoding="utf-8",
+    )
     return path

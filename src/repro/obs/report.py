@@ -27,6 +27,7 @@ import os
 from pathlib import Path
 from typing import List, Optional, Union
 
+from ..envinfo import environment_fingerprint
 from .hub import Observability
 from .metrics import Histogram
 
@@ -67,6 +68,9 @@ def build_run_report(
     ]
     report: dict = {
         "schema": REPORT_SCHEMA,
+        # provenance: same fingerprint block bench records carry, so a
+        # report and a bench number can be traced to one environment
+        "environment": environment_fingerprint(),
         "run": {
             "algorithm": result.algorithm,
             "dataset": dataset,
@@ -297,6 +301,19 @@ def run_report_markdown(report: dict) -> str:
             lines.append(f"- repaired via {rung}: {n}")
         for violation in integ.get("violations", []):
             lines.append(f"- violation: {violation}")
+
+    env = report.get("environment")
+    if env:
+        lines += [
+            "",
+            "## Environment",
+            "",
+            f"- python {env.get('python')} ({env.get('implementation')}), "
+            f"numpy {env.get('numpy')}",
+            f"- {env.get('platform')}/{env.get('machine')}, "
+            f"bench scale {env.get('bench_scale')}",
+            f"- git {env.get('git_sha') or 'unknown'}",
+        ]
     return "\n".join(lines) + "\n"
 
 

@@ -1,0 +1,102 @@
+"""The performance observatory: statistically-gated benchmarking.
+
+Turns benchmarking from one-off scripts into a first-class subsystem:
+
+* :mod:`repro.perf.record` — the versioned bench-record schema
+  (raw per-repeat samples, kernel attribution, environment
+  fingerprints) plus validation and i/o;
+* :mod:`repro.perf.runner` — the repeat-*k* runner with warmup discard
+  and interleaved scheduling over the existing bench workloads;
+* :mod:`repro.perf.stats` — bootstrap confidence intervals,
+  Mann–Whitney significance, median/min-of-k summaries;
+* :mod:`repro.perf.compare` — the baseline-vs-candidate comparator
+  with workload- and kernel-granularity verdicts;
+* :mod:`repro.perf.trajectory` — the append-only performance history
+  and its Markdown trend dashboard.
+
+CLI: ``gsap perf run | compare | trend`` (see ``docs/observability.md``).
+"""
+
+from .compare import (
+    IMPROVEMENT,
+    NEUTRAL,
+    REGRESSION,
+    CompareOptions,
+    CompareReport,
+    Verdict,
+    compare_markdown,
+    compare_records,
+)
+from .record import (
+    BENCH_RECORD_SCHEMA,
+    BenchRecordError,
+    assert_valid,
+    load_record,
+    new_record,
+    new_workload,
+    validate_record,
+    workload_index,
+    write_record,
+)
+from .runner import (
+    GATE_SPECS,
+    PerfWorkload,
+    gate_workloads,
+    run_workloads,
+)
+from .stats import (
+    Comparison,
+    SampleSummary,
+    bootstrap_median_ci,
+    bootstrap_ratio_ci,
+    cliffs_delta,
+    compare_samples,
+    mann_whitney,
+    ratio_of_medians,
+    summarize,
+)
+from .trajectory import (
+    DEFAULT_TRAJECTORY,
+    TRAJECTORY_SCHEMA,
+    append_trajectory,
+    load_trajectory,
+    trend_markdown,
+)
+
+__all__ = [
+    "BENCH_RECORD_SCHEMA",
+    "BenchRecordError",
+    "CompareOptions",
+    "CompareReport",
+    "Comparison",
+    "DEFAULT_TRAJECTORY",
+    "GATE_SPECS",
+    "IMPROVEMENT",
+    "NEUTRAL",
+    "PerfWorkload",
+    "REGRESSION",
+    "SampleSummary",
+    "TRAJECTORY_SCHEMA",
+    "Verdict",
+    "append_trajectory",
+    "assert_valid",
+    "bootstrap_median_ci",
+    "bootstrap_ratio_ci",
+    "cliffs_delta",
+    "compare_markdown",
+    "compare_records",
+    "compare_samples",
+    "gate_workloads",
+    "load_record",
+    "load_trajectory",
+    "mann_whitney",
+    "new_record",
+    "new_workload",
+    "ratio_of_medians",
+    "run_workloads",
+    "summarize",
+    "trend_markdown",
+    "validate_record",
+    "workload_index",
+    "write_record",
+]

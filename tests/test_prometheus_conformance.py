@@ -1,0 +1,122 @@
+"""Prometheus text-exposition conformance tests (format 0.0.4).
+
+A scraper rejects the whole page on one malformed line, so the
+exporter must get the fiddly parts exactly right: label-value escaping
+(backslash, double quote, line feed), the mandatory cumulative
+``+Inf`` histogram bucket, and non-finite sample values spelled
+``NaN``/``+Inf``/``-Inf`` (``%g``-style ``nan``/``inf`` are invalid).
+"""
+
+import math
+
+import pytest
+
+from repro.obs.export import prometheus_text, write_prometheus
+from repro.obs.metrics import MetricsRegistry
+
+
+def _lines(text):
+    return [l for l in text.splitlines() if l and not l.startswith("#")]
+
+
+class TestLabelEscaping:
+    def test_backslash_quote_and_newline(self):
+        reg = MetricsRegistry()
+        reg.counter("moves_total").inc()
+        text = prometheus_text(
+            reg, labels={"path": 'C:\\tmp\\"run"\nnext'}
+        )
+        (line,) = _lines(text)
+        assert line == (
+            'gsap_moves_total{path="C:\\\\tmp\\\\\\"run\\"\\nnext"} 1'
+        )
+
+    def test_labels_attach_to_every_sample_line(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total").inc(2)
+        reg.gauge("b").set(3.0)
+        h = reg.histogram("c", buckets=[1.0])
+        h.observe(0.5)
+        text = prometheus_text(reg, labels={"algorithm": "GSAP", "seed": 7})
+        for line in _lines(text):
+            assert 'algorithm="GSAP"' in line
+            assert 'seed="7"' in line
+
+    def test_invalid_label_name_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total").inc()
+        with pytest.raises(ValueError, match="not Prometheus-compatible"):
+            prometheus_text(reg, labels={"bad-name": "v"})
+
+    def test_no_labels_no_braces(self):
+        reg = MetricsRegistry()
+        reg.gauge("mdl").set(1.5)
+        assert "gsap_mdl 1.5" in prometheus_text(reg)
+
+
+class TestHistogramBuckets:
+    def test_inf_bucket_present_cumulative_and_last(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_s", buckets=[0.1, 1.0])
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        lines = _lines(prometheus_text(reg))
+        buckets = [l for l in lines if "_bucket" in l]
+        assert buckets[-1].startswith('gsap_latency_s_bucket{le="+Inf"}')
+        counts = [int(l.rsplit(" ", 1)[1]) for l in buckets]
+        assert counts == sorted(counts), "buckets must be cumulative"
+        assert counts[-1] == 3, "+Inf bucket counts every observation"
+        assert any(l == "gsap_latency_s_count 3" for l in lines)
+
+    def test_le_label_comes_after_constant_labels(self):
+        reg = MetricsRegistry()
+        reg.histogram("d", buckets=[1.0]).observe(0.5)
+        text = prometheus_text(reg, labels={"seed": 1})
+        bucket_lines = [l for l in _lines(text) if "_bucket" in l]
+        for line in bucket_lines:
+            assert line.index('seed="1"') < line.index('le="')
+
+
+class TestNonFiniteValues:
+    def test_nan_spelled_exactly(self):
+        reg = MetricsRegistry()
+        reg.gauge("ratio").set(float("nan"))
+        (line,) = _lines(prometheus_text(reg))
+        assert line == "gsap_ratio NaN"
+        assert "nan" not in line  # the %g spelling scrapers reject
+
+    def test_infinities(self):
+        reg = MetricsRegistry()
+        reg.gauge("up").set(math.inf)
+        reg.gauge("down").set(-math.inf)
+        lines = _lines(prometheus_text(reg))
+        assert "gsap_up +Inf" in lines
+        assert "gsap_down -Inf" in lines
+
+    def test_nan_histogram_sum_still_renders(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=[1.0]).observe(float("nan"))
+        text = prometheus_text(reg)
+        sum_line = next(
+            l for l in _lines(text) if l.startswith("gsap_h_sum")
+        )
+        assert sum_line == "gsap_h_sum NaN"
+
+
+class TestHelpAndFile:
+    def test_help_escapes_backslash_and_newline(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", help="line1\nline2 \\ raw").inc()
+        text = prometheus_text(reg)
+        assert "# HELP gsap_x_total line1\\nline2 \\\\ raw" in text
+        assert text.count("\n# ") + 1 == 2  # HELP + TYPE stay two lines
+
+    def test_write_prometheus_round_trip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("writes_total").inc(4)
+        path = write_prometheus(
+            reg, tmp_path / "metrics.prom", labels={"seed": 0}
+        )
+        content = path.read_text(encoding="utf-8")
+        assert content.endswith("\n")
+        assert 'gsap_writes_total{seed="0"} 4' in content
