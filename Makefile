@@ -1,6 +1,6 @@
 # Convenience targets for the GSAP reproduction.
 
-.PHONY: install test test-fast test-faults test-integrity bench bench-incremental bench-paper perf-baseline perf-check perf-trend examples lint clean
+.PHONY: install test test-fast test-faults test-integrity serve-smoke bench bench-incremental bench-paper perf-baseline perf-check perf-trend examples lint clean
 
 PERF_BASELINE := benchmarks/baselines/perf_baseline_quick.json
 PERF_REPEATS  := 5
@@ -19,6 +19,11 @@ test-faults:
 
 test-integrity:
 	pytest tests/test_integrity.py
+
+# deterministic service load test: overload + faults + checkpoint
+# shutdown; fails if any accepted job is lost or shutdown is unclean
+serve-smoke:
+	PYTHONPATH=src python benchmarks/bench_serve.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -157,6 +157,7 @@ def save_result(result: PartitionResult, directory: PathLike) -> Path:
         "sim_time_s": result.sim_time_s,
         "num_sweeps": result.num_sweeps,
         "converged": result.converged,
+        "cancelled": result.cancelled,
         "resilience": result.resilience.to_dict(),
         "integrity": result.integrity.to_dict(),
     }
@@ -200,6 +201,7 @@ def load_result(directory: PathLike) -> PartitionResult:
             sim_time_s=float(payload["sim_time_s"]),
             num_sweeps=int(payload["num_sweeps"]),
             converged=bool(payload["converged"]),
+            cancelled=payload.get("cancelled"),
             algorithm=str(payload["algorithm"]),
             resilience=resilience,
             integrity=integrity,

@@ -6,6 +6,10 @@ Subcommands
     Synthesize an SBPC-category graph and write edge list + ground truth.
 ``partition``
     Partition an edge-list file with GSAP or a baseline; report MDL/NMI.
+``serve``
+    Run the partitioning service: concurrent jobs over line-delimited
+    JSON on TCP, with admission control, deadlines, a result cache and
+    graceful degradation (see ``docs/serving.md``).
 ``bench``
     Run the benchmark matrix and print the paper's tables and figures.
 ``verify``
@@ -108,6 +112,12 @@ def _add_partition(sub: argparse._SubParsersAction) -> None:
         "--checkpoint-every", type=int, default=0, metavar="N",
         help="plateaus between checkpoints (default: every plateau when "
              "--checkpoint/--resume is given)",
+    )
+    p.add_argument(
+        "--deadline-s", type=float, default=None, metavar="SECONDS",
+        help="best-effort deadline: stop at the next plateau/sweep "
+             "boundary once SECONDS have elapsed and return the best "
+             "partition found so far (GSAP only)",
     )
     p.add_argument(
         "--fault-plan", metavar="FILE",
@@ -223,6 +233,17 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.deadline_s is not None and not is_gsap:
+        print(
+            f"--deadline-s is only supported for GSAP, not {args.algo}",
+            file=sys.stderr,
+        )
+        return 2
+    cancel = None
+    if args.deadline_s is not None:
+        from .serve import CancelToken
+
+        cancel = CancelToken(args.deadline_s, checkpoint_dir=args.checkpoint)
     if args.fault_plan:
         from .gpusim.device import get_default_device
         from .resilience import FaultPlan, install_fault_injector
@@ -235,10 +256,23 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     try:
         if is_gsap:
             result = partitioner.partition(
-                graph, resume_from=args.resume, checkpoint_dir=args.checkpoint
+                graph, resume_from=args.resume,
+                checkpoint_dir=args.checkpoint, cancel=cancel,
             )
         else:
             result = partitioner.partition(graph)
+    except KeyboardInterrupt:
+        # the partitioner already flushed a final checkpoint (when one
+        # was configured) before re-raising; 130 = 128 + SIGINT.
+        if args.checkpoint:
+            print(
+                f"\ninterrupted — resume with --resume {args.checkpoint}",
+                file=sys.stderr,
+            )
+        else:
+            print("\ninterrupted (no --checkpoint; progress discarded)",
+                  file=sys.stderr)
+        return 130
     except CheckpointCorruptError as err:
         where = f" {err.path}" if err.path else ""
         print(
@@ -259,6 +293,13 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     print(f"blocks found   : {result.num_blocks}")
     print(f"description len: {result.mdl:.2f}")
     print(f"wall time      : {elapsed:.2f}s")
+    if result.timed_out:
+        print(
+            f"deadline       : TIMED OUT after {args.deadline_s:g}s — "
+            f"best partition found so far (not converged)"
+        )
+    elif result.cancelled is not None:
+        print(f"cancelled      : {result.cancelled} (best-effort result)")
     if result.sim_time_s:
         print(f"sim device time: {result.sim_time_s * 1e3:.1f}ms")
     res = result.resilience
@@ -323,6 +364,87 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         )
         print(f"partition written to {args.out}")
     return 0
+
+
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "serve",
+        help="run the partitioning service (line-delimited JSON over TCP)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=8437,
+        help="TCP port (0 picks a free one; default: 8437)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="partitioning threads (default: 2)",
+    )
+    p.add_argument(
+        "--max-queue-depth", type=int, default=16,
+        help="admission limit on accepted-but-unfinished jobs",
+    )
+    p.add_argument(
+        "--max-inflight-mb", type=float, default=None, metavar="MB",
+        help="admission limit on summed graph work-bytes (default: off)",
+    )
+    p.add_argument(
+        "--cache-capacity", type=int, default=32,
+        help="result-cache entries (0 disables caching)",
+    )
+    p.add_argument(
+        "--checkpoint-root", metavar="DIR",
+        help="directory for per-job checkpoints and shutdown parking",
+    )
+    p.add_argument(
+        "--default-deadline-s", type=float, default=None, metavar="SECONDS",
+        help="deadline applied to requests that carry none",
+    )
+    p.set_defaults(func=_cmd_serve)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import PartitionServer, ServeConfig, ServeFrontend
+
+    serve_config = ServeConfig(
+        workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        max_inflight_bytes=(
+            None if args.max_inflight_mb is None
+            else int(args.max_inflight_mb * 1024 * 1024)
+        ),
+        cache_capacity=args.cache_capacity,
+        checkpoint_root=args.checkpoint_root,
+        default_deadline_s=args.default_deadline_s,
+    )
+
+    async def run() -> int:
+        server = PartitionServer(serve_config)
+        frontend = ServeFrontend(server, args.host, args.port)
+        await frontend.start()
+        print(f"serving on {frontend.host}:{frontend.port} "
+              f"(workers={args.workers}, queue<={args.max_queue_depth})")
+        try:
+            summary = await frontend.serve_until_shutdown()
+            print(f"shutdown ({summary['mode']}): {summary['outcomes']}")
+            return 0
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            # Ctrl-C: stop fast but safe — checkpoint running jobs,
+            # park queued ones, then report what went where.
+            summary = await server.shutdown("checkpoint")
+            print(f"\ninterrupted — checkpoint shutdown: "
+                  f"{summary['outcomes']}", file=sys.stderr)
+            return 130
+        finally:
+            await frontend.close()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        # interrupt landed outside the server's own handling
+        return 130
 
 
 def _add_bench(sub: argparse._SubParsersAction) -> None:
@@ -817,6 +939,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     _add_generate(sub)
     _add_partition(sub)
+    _add_serve(sub)
     _add_bench(sub)
     _add_stream(sub)
     _add_analyze(sub)

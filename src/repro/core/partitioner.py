@@ -47,6 +47,7 @@ from ..errors import (
     DeviceMemoryError,
     PartitionError,
     RetryExhaustedError,
+    RunCancelled,
 )
 from ..graph.csr import DiGraphCSR
 from ..gpusim.device import Device, get_default_device
@@ -182,6 +183,7 @@ class GSAPPartitioner:
         degradation: _Degradation,
         timings: PhaseTimings,
         integrity=None,
+        cancel=None,
     ) -> Tuple[BlockMergeOutcome, VertexMoveOutcome]:
         """One attempt of one plateau: rebuild, merge down, vertex-move.
 
@@ -248,7 +250,7 @@ class GSAPPartitioner:
                 streams.get("vertex_move", plateau_idx),
                 threshold, initial_mdl_scale=initial_mdl,
                 rebuild_fn=timed_rebuild, obs=obs, integrity=integrity,
-                incremental=incremental,
+                incremental=incremental, cancel=cancel,
             )
         timings.vertex_move_s += time.perf_counter() - t0
         timings.blockmodel_update_s += update_spent[0]
@@ -275,9 +277,15 @@ class GSAPPartitioner:
         stats: ResilienceStats,
         budget: FaultBudget,
         integrity=None,
+        cancel=None,
     ) -> Tuple[BlockMergeOutcome, VertexMoveOutcome]:
         """Run a plateau under retries; escalate persistent OOM down the
-        degradation ladder instead of aborting."""
+        degradation ladder instead of aborting.
+
+        :class:`~repro.errors.RunCancelled` is deliberately *not* a
+        retryable error — a deadline or shutdown propagates through the
+        retry machinery untouched.
+        """
         rcfg = self.config.resilience
         policy = self._retry_policy()
         while True:
@@ -286,7 +294,7 @@ class GSAPPartitioner:
                     lambda attempt: self._run_plateau(
                         graph, resume, target, threshold, initial_mdl,
                         plateau_idx, streams, degradation, timings,
-                        integrity=integrity,
+                        integrity=integrity, cancel=cancel,
                     ),
                     policy,
                     seed=self.config.seed,
@@ -346,6 +354,7 @@ class GSAPPartitioner:
         *,
         resume_from: Optional[PathLike] = None,
         checkpoint_dir: Optional[PathLike] = None,
+        cancel=None,
     ) -> PartitionResult:
         """Run full SBP on *graph* and return the optimal partition found.
 
@@ -361,6 +370,16 @@ class GSAPPartitioner:
             plateau when that is 0 but a directory is given).  Defaults
             to *resume_from* when resuming, so one directory carries a
             run across any number of kills.
+        cancel:
+            Optional :class:`~repro.serve.CancelToken` polled at every
+            plateau and sweep boundary.  When it fires (deadline,
+            shutdown, explicit cancel) the run stops cooperatively: if
+            at least one plateau completed, the best partition found so
+            far is returned with
+            :attr:`~repro.core.result.PartitionResult.cancelled` set
+            (and a resumable checkpoint is written when the token or the
+            run carries a checkpoint directory); otherwise
+            :class:`~repro.errors.RunCancelled` propagates.
         """
         if graph.num_vertices == 0:
             return PartitionResult(
@@ -382,12 +401,14 @@ class GSAPPartitioner:
                     graph,
                     resume_from=resume_from,
                     checkpoint_dir=checkpoint_dir,
+                    cancel=cancel,
                 )
             run_span.set(
                 num_blocks=result.num_blocks,
                 mdl=result.mdl,
                 plateaus=len(result.history),
                 converged=result.converged,
+                cancelled=result.cancelled,
             )
         return result
 
@@ -397,6 +418,7 @@ class GSAPPartitioner:
         *,
         resume_from: Optional[PathLike],
         checkpoint_dir: Optional[PathLike],
+        cancel=None,
     ) -> PartitionResult:
         from ..checkpoint import (
             RunCheckpoint,
@@ -530,7 +552,7 @@ class GSAPPartitioner:
         if integrity_state:
             integrity.stats = IntegrityStats.from_dict(integrity_state)
 
-        def write_checkpoint() -> None:
+        def write_checkpoint(directory: Optional[PathLike] = None) -> None:
             save_run_checkpoint(
                 RunCheckpoint(
                     plateau=plateaus,
@@ -549,7 +571,7 @@ class GSAPPartitioner:
                     observability=obs.to_state(),
                     integrity=integrity.stats.to_dict(),
                 ),
-                checkpoint_dir,
+                directory if directory is not None else checkpoint_dir,
             )
             stats.checkpoints_written += 1
             obs.count(
@@ -558,80 +580,141 @@ class GSAPPartitioner:
             )
 
         converged = True
-        while not search.done():
-            if plateaus + 1 > self.max_plateaus:
-                converged = False
-                if not rcfg.best_effort:
-                    raise ConvergenceError(
-                        f"golden-section search did not collapse within "
-                        f"{self.max_plateaus} plateaus (best so far: "
-                        f"B={search.best.num_blocks if search.best else '?'}); "
-                        f"set config.resilience.best_effort for the "
-                        f"incumbent partition instead"
-                    )
-                logger.warning("plateau budget exhausted; returning incumbent")
-                break
-            plateau_idx = plateaus
-            plateaus += 1
-
-            with obs.span("plateau", "plateau", index=plateau_idx) as p_span:
-                t0 = time.perf_counter()
-                with obs.span("golden_section", "phase", plateau=plateau_idx):
-                    target, resume = search.next_target()
-                timings.golden_section_s += time.perf_counter() - t0
-
-                threshold = (
-                    config.delta_entropy_threshold1
-                    if search.threshold_regime() == 1
-                    else config.delta_entropy_threshold2
-                )
-                merge, move = self._run_plateau_resilient(
-                    graph, resume, target, threshold, initial_mdl, plateau_idx,
-                    streams, degradation, timings, stats, budget,
-                    integrity=integrity,
-                )
-                # post-plateau site: move.mdl was computed from this very
-                # blockmodel, so the audit can also check MDL drift here
-                integrity.site(
-                    move.bmap, move.blockmodel, "golden_section",
-                    tracked_mdl=move.mdl,
-                )
-                prop_stats.merge_proposals += merge.num_proposals_evaluated
-                prop_stats.merge_proposal_time_s += merge.proposal_time_s
-                prop_stats.move_proposals += move.num_proposals
-                prop_stats.move_proposal_time_s += move.proposal_time_s
-                total_sweeps += move.num_sweeps
-
-                t0 = time.perf_counter()
-                with obs.span("golden_section", "phase", plateau=plateau_idx):
-                    search.update(
-                        PartitionSnapshot(
-                            num_blocks=merge.num_blocks, mdl=move.mdl,
-                            bmap=move.bmap,
+        cancel_reason: Optional[str] = None
+        try:
+            while not search.done():
+                if cancel is not None:
+                    cancel.check("plateau")
+                if plateaus + 1 > self.max_plateaus:
+                    converged = False
+                    if not rcfg.best_effort:
+                        raise ConvergenceError(
+                            f"golden-section search did not collapse within "
+                            f"{self.max_plateaus} plateaus (best so far: "
+                            f"B={search.best.num_blocks if search.best else '?'}); "
+                            f"set config.resilience.best_effort for the "
+                            f"incumbent partition instead"
                         )
+                    logger.warning("plateau budget exhausted; returning incumbent")
+                    break
+                plateau_idx = plateaus
+                plateaus += 1
+
+                with obs.span("plateau", "plateau", index=plateau_idx) as p_span:
+                    t0 = time.perf_counter()
+                    with obs.span("golden_section", "phase", plateau=plateau_idx):
+                        target, resume = search.next_target()
+                    timings.golden_section_s += time.perf_counter() - t0
+
+                    threshold = (
+                        config.delta_entropy_threshold1
+                        if search.threshold_regime() == 1
+                        else config.delta_entropy_threshold2
                     )
-                timings.golden_section_s += time.perf_counter() - t0
-                p_span.set(
-                    target=target, num_blocks=merge.num_blocks,
-                    mdl=move.mdl, sweeps=move.num_sweeps,
+                    merge, move = self._run_plateau_resilient(
+                        graph, resume, target, threshold, initial_mdl,
+                        plateau_idx, streams, degradation, timings, stats,
+                        budget, integrity=integrity, cancel=cancel,
+                    )
+                    # post-plateau site: move.mdl was computed from this very
+                    # blockmodel, so the audit can also check MDL drift here
+                    integrity.site(
+                        move.bmap, move.blockmodel, "golden_section",
+                        tracked_mdl=move.mdl,
+                    )
+                    prop_stats.merge_proposals += merge.num_proposals_evaluated
+                    prop_stats.merge_proposal_time_s += merge.proposal_time_s
+                    prop_stats.move_proposals += move.num_proposals
+                    prop_stats.move_proposal_time_s += move.proposal_time_s
+                    total_sweeps += move.num_sweeps
+
+                    t0 = time.perf_counter()
+                    with obs.span("golden_section", "phase", plateau=plateau_idx):
+                        search.update(
+                            PartitionSnapshot(
+                                num_blocks=merge.num_blocks, mdl=move.mdl,
+                                bmap=move.bmap,
+                            )
+                        )
+                    timings.golden_section_s += time.perf_counter() - t0
+                    p_span.set(
+                        target=target, num_blocks=merge.num_blocks,
+                        mdl=move.mdl, sweeps=move.num_sweeps,
+                    )
+                logger.debug(
+                    "plateau %d: B=%d MDL=%.2f (%d sweeps)",
+                    plateaus, merge.num_blocks, move.mdl, move.num_sweeps,
                 )
-            logger.debug(
-                "plateau %d: B=%d MDL=%.2f (%d sweeps)",
-                plateaus, merge.num_blocks, move.mdl, move.num_sweeps,
+                if (
+                    checkpoint_dir is not None
+                    and checkpoint_every > 0
+                    and plateaus % checkpoint_every == 0
+                ):
+                    write_checkpoint()
+        except RunCancelled as exc:
+            # A cancelled-but-progressed run degrades to best-effort:
+            # return the incumbent partition and let the caller read the
+            # reason off the result.  A partially executed plateau is
+            # discarded wholesale — the search state only ever holds
+            # plateau-boundary snapshots, so resume stays deterministic.
+            if search.best is None:
+                raise
+            # A sweep-boundary cancel aborts mid-plateau, after the
+            # counter already advanced; rewind to the boundary (one
+            # history entry per completed update, incl. the initial
+            # singleton) so a checkpoint resumes with the same
+            # plateau_idx — and therefore the same RNG streams — an
+            # uninterrupted run would use.
+            plateaus = len(search.history) - 1
+            cancel_reason = exc.reason
+            converged = False
+            obs.count(
+                "run_cancellations_total",
+                help="runs stopped by cooperative cancellation",
             )
-            if (
-                checkpoint_dir is not None
-                and checkpoint_every > 0
-                and plateaus % checkpoint_every == 0
-            ):
+            obs.instant(
+                "cancelled", "cancel",
+                reason=exc.reason, where=exc.where, plateau=plateaus,
+            )
+            logger.warning(
+                "run cancelled (%s) at plateau %d; returning best-so-far "
+                "partition", exc.reason, plateaus,
+            )
+        except KeyboardInterrupt:
+            # Ctrl-C is not silent data loss: persist a final resumable
+            # snapshot when the run has a checkpoint directory, then let
+            # the interrupt propagate to the caller (the CLI maps it to
+            # a distinct exit status).
+            if checkpoint_dir is not None and search.best is not None:
+                # Same rewind as the cancellation path: the interrupt
+                # may land mid-plateau, after the counter advanced past
+                # the last boundary snapshot.
+                plateaus = len(search.history) - 1
                 write_checkpoint()
+                logger.warning(
+                    "interrupted; final checkpoint written to %s",
+                    checkpoint_dir,
+                )
+            raise
 
         best = search.best
         if best is None:
             raise PartitionError("search finished without any evaluated partition")
-        if checkpoint_dir is not None:
+        final_checkpoint_dir = checkpoint_dir
+        if (
+            final_checkpoint_dir is None
+            and cancel_reason is not None
+            and cancel is not None
+            and getattr(cancel, "checkpoint_dir", None) is not None
+            and plateaus >= max(1, getattr(cancel, "checkpoint_min_plateaus", 1))
+        ):
+            # The token carries a parking spot for cancelled runs that
+            # crossed the progress threshold (the job server's per-job
+            # checkpoint directory).
+            final_checkpoint_dir = cancel.checkpoint_dir
+        if final_checkpoint_dir is not None:
             # final snapshot so a post-mortem resume is a no-op continue
-            write_checkpoint()
+            write_checkpoint(final_checkpoint_dir)
         obs.gauge_set("final_mdl", best.mdl, help="MDL of the final partition")
         obs.gauge_set(
             "final_num_blocks", best.num_blocks,
@@ -650,6 +733,7 @@ class GSAPPartitioner:
             sim_time_s=device.sim_time_s - sim_start + sim_offset,
             num_sweeps=total_sweeps,
             converged=converged,
+            cancelled=cancel_reason,
             algorithm=self.name,
             resilience=stats,
             integrity=integrity.stats,

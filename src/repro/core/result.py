@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -41,6 +41,11 @@ class PartitionResult:
         Total vertex-move MCMC sweeps executed.
     converged:
         False if an iteration budget stopped the run early.
+    cancelled:
+        ``None`` for an uninterrupted run; otherwise why the run was
+        cooperatively cancelled (``"deadline"``, ``"shutdown"``, or
+        ``"cancelled"``) — the partition is then the best one found
+        before cancellation, not the converged optimum.
     algorithm:
         Name of the partitioner that produced the result.
     resilience:
@@ -61,6 +66,7 @@ class PartitionResult:
     sim_time_s: float = 0.0
     num_sweeps: int = 0
     converged: bool = True
+    cancelled: Optional[str] = None
     algorithm: str = ""
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
     integrity: IntegrityStats = field(default_factory=IntegrityStats)
@@ -69,6 +75,11 @@ class PartitionResult:
         self.partition = densify_partition(np.asarray(self.partition))
         if len(self.partition):
             self.num_blocks = int(self.partition.max()) + 1
+
+    @property
+    def timed_out(self) -> bool:
+        """True when a deadline stopped the run (best-effort partition)."""
+        return self.cancelled == "deadline"
 
     def summary(self) -> dict:
         """Flat dictionary for table/CSV reporting."""
@@ -80,6 +91,7 @@ class PartitionResult:
             "sim_time_s": self.sim_time_s,
             "num_sweeps": self.num_sweeps,
             "converged": self.converged,
+            "cancelled": self.cancelled,
             **{f"{k}_s": v for k, v in (
                 ("block_merge", self.timings.block_merge_s),
                 ("vertex_move", self.timings.vertex_move_s),

@@ -171,6 +171,7 @@ def run_vertex_move_phase(
     obs: Optional[Observability] = None,
     integrity=None,
     incremental=None,
+    cancel=None,
 ) -> VertexMoveOutcome:
     """Run batched async-Gibbs sweeps until the MDL plateaus.
 
@@ -201,6 +202,11 @@ def run_vertex_move_phase(
         integrity site (corruption exposure + cadenced audit/repair)
         after every blockmodel rebuild.  Like *obs*, it never consumes
         RNG draws.
+    cancel:
+        Optional :class:`~repro.serve.CancelToken`; checked at the top
+        of every sweep so a deadline or shutdown aborts the phase
+        between sweeps (the partial plateau is discarded — the caller
+        keeps the last completed plateau's state).
     """
     obs = obs or NULL_OBS
     bmap = np.asarray(bmap, dtype=INDEX_DTYPE).copy()
@@ -228,6 +234,8 @@ def run_vertex_move_phase(
 
     track_deltas = obs.enabled and obs.config.track_deltas
     for sweep in range(config.max_num_nodal_itr):
+        if cancel is not None:
+            cancel.check("sweep")
         sweeps = sweep + 1
         order = rng.permutation(num_vertices).astype(INDEX_DTYPE)
         batches = np.array_split(order, config.num_batches_for_MCMC)

@@ -59,6 +59,53 @@ class FaultInjected(ReproError):
     """
 
 
+class RunCancelled(ReproError):
+    """A run was cooperatively cancelled (deadline, shutdown, or caller).
+
+    Raised by :meth:`repro.serve.CancelToken.check` at the partitioner's
+    cooperative checkpoints.  The partitioner converts it into a
+    best-effort :class:`~repro.core.result.PartitionResult` (with
+    :attr:`~repro.core.result.PartitionResult.cancelled` set) whenever at
+    least one plateau finished; before any progress it propagates to the
+    caller.
+
+    Attributes
+    ----------
+    reason:
+        Why the run stopped: ``"deadline"``, ``"shutdown"``, or
+        ``"cancelled"`` (explicit caller cancellation).
+    where:
+        The cooperative check site that observed the cancellation
+        (``"plateau"``, ``"sweep"``, ...).
+    """
+
+    def __init__(self, message: str, reason: str = "cancelled",
+                 where: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.where = where
+
+
+class AdmissionRejected(ReproError):
+    """The job server refused a submission (backpressure).
+
+    Attributes
+    ----------
+    retry_after_s:
+        Suggested client backoff before resubmitting, derived from the
+        current queue depth and the server's observed service rate.
+    reason:
+        Which limit rejected the job (``"queue_depth"``,
+        ``"inflight_bytes"``, ``"shutting_down"``, ``"shed_load"``).
+    """
+
+    def __init__(self, message: str, reason: str = "queue_depth",
+                 retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after_s = retry_after_s
+
+
 class RetryExhaustedError(ReproError):
     """A retried operation kept failing past its attempt/fault budget.
 

@@ -11,9 +11,12 @@ from .auditor import (
     reference_blockmodel,
     structure_arrays,
 )
+from .digest import config_sha256, graph_sha256
 from .manager import REPAIR_RUNGS, IntegrityManager, IntegrityStats
 
 __all__ = [
+    "config_sha256",
+    "graph_sha256",
     "STRUCTURE_TAGS",
     "InvariantViolation",
     "audit_blockmodel",

@@ -77,6 +77,8 @@ def build_run_report(
             "num_blocks": result.num_blocks,
             "mdl": result.mdl,
             "converged": result.converged,
+            "cancelled": getattr(result, "cancelled", None),
+            "timed_out": bool(getattr(result, "timed_out", False)),
             "num_sweeps": result.num_sweeps,
             "total_time_s": result.total_time_s,
             "sim_time_s": result.sim_time_s,
@@ -183,6 +185,12 @@ def run_report_markdown(report: dict) -> str:
         f"- dataset: {run.get('dataset') or 'n/a'}",
         f"- blocks found: **{run['num_blocks']}** (MDL {run['mdl']:.2f})",
         f"- converged: {run['converged']}",
+    ]
+    if run.get("timed_out"):
+        lines.append("- **timed out**: deadline fired; best partition found")
+    elif run.get("cancelled"):
+        lines.append(f"- cancelled: {run['cancelled']} (best-effort result)")
+    lines += [
         f"- MCMC sweeps: {run['num_sweeps']}",
         f"- wall time: {run['total_time_s']:.3f}s"
         + (f" / sim device time: {run['sim_time_s'] * 1e3:.1f}ms"

@@ -1,0 +1,67 @@
+"""Partitioning-as-a-service: an overload-safe async job layer.
+
+Public surface:
+
+* :class:`PartitionServer` / :class:`ServeConfig` — the in-process
+  service (``async with PartitionServer(...) as srv: await
+  srv.submit(graph)``).
+* :class:`CancelToken` — cooperative cancellation/deadline handle,
+  honoured by :meth:`~repro.core.partitioner.GSAPPartitioner.partition`.
+* :class:`ServeFrontend` / :class:`ServeClient` — the ``gsap serve``
+  TCP JSONL front end and its blocking client.
+* :class:`JobOutcome` — terminal state of every accepted submission.
+
+See ``docs/serving.md`` for the architecture: admission control,
+deadlines, graceful degradation, result caching, and shutdown
+semantics.
+"""
+
+from .admission import AdmissionController
+from .cache import ResultCache, SingleFlight, cache_key
+from .cancel import (
+    REASON_CANCELLED,
+    REASON_DEADLINE,
+    REASON_SHUTDOWN,
+    CancelToken,
+)
+from .degradation import (
+    LEVEL_NAMES,
+    MAX_LEVEL,
+    DegradationLadder,
+    OverloadDetector,
+)
+from .job import (
+    JOB_STATUSES,
+    JobOutcome,
+    JobSpec,
+    graph_work_bytes,
+    load_parked_job,
+    park_job,
+)
+from .net import ServeClient, ServeFrontend
+from .server import PartitionServer, ServeConfig
+
+__all__ = [
+    "AdmissionController",
+    "ResultCache",
+    "SingleFlight",
+    "cache_key",
+    "REASON_CANCELLED",
+    "REASON_DEADLINE",
+    "REASON_SHUTDOWN",
+    "CancelToken",
+    "LEVEL_NAMES",
+    "MAX_LEVEL",
+    "DegradationLadder",
+    "OverloadDetector",
+    "JOB_STATUSES",
+    "JobOutcome",
+    "JobSpec",
+    "graph_work_bytes",
+    "load_parked_job",
+    "park_job",
+    "ServeClient",
+    "ServeFrontend",
+    "PartitionServer",
+    "ServeConfig",
+]

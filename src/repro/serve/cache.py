@@ -1,0 +1,128 @@
+"""Result cache + single-flight dedup for the partitioning service.
+
+Two layers prevent redundant partitioning work:
+
+* :class:`ResultCache` — an LRU of finished
+  :class:`~repro.core.result.PartitionResult` objects keyed by
+  ``graph_sha256:config_sha256`` (see :mod:`repro.integrity.digest`).
+  Because the partitioner is deterministic under a fixed seed, a cached
+  repeat is byte-identical to recomputing it.
+* :class:`SingleFlight` — coalesces *concurrent* identical requests:
+  the first caller computes, the rest await the same future.  This is
+  the in-flight analogue of the cache and feeds it.
+
+Only full-fidelity, non-degraded, non-timed-out results are cached —
+a degraded partition must never be served to a caller who asked at
+full fidelity.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from ..core.result import PartitionResult
+
+
+def cache_key(graph_digest: str, config_digest: str) -> str:
+    """Stable identity of one partitioning request."""
+    return f"{graph_digest}:{config_digest}"
+
+
+class ResultCache:
+    """Thread-safe LRU over finished partition results."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity!r}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[str, PartitionResult]" = OrderedDict()
+        self.hits_total = 0
+        self.misses_total = 0
+        self.evictions_total = 0
+
+    def get(self, key: str) -> Optional[PartitionResult]:
+        with self._lock:
+            result = self._entries.get(key)
+            if result is None:
+                self.misses_total += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits_total += 1
+            return result
+
+    def put(self, key: str, result: PartitionResult) -> None:
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions_total += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits_total": self.hits_total,
+                "misses_total": self.misses_total,
+                "evictions_total": self.evictions_total,
+            }
+
+
+class SingleFlight:
+    """Coalesce concurrent identical requests onto one computation.
+
+    Event-loop–confined (no lock): :meth:`claim`/:meth:`resolve`/
+    :meth:`forget` must run on the owning loop — the server calls them
+    from coroutines only.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self.coalesced_total = 0
+
+    def claim(self, key: str) -> Tuple[bool, asyncio.Future]:
+        """Claim *key* for computation.
+
+        Returns ``(leader, future)``.  The first claimant is the
+        *leader* (``True``) and must eventually :meth:`resolve` or
+        :meth:`forget` the key; followers get ``False`` and simply
+        await the shared future.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced_total += 1
+            return False, existing
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        return True, future
+
+    def resolve(self, key: str, result: PartitionResult) -> None:
+        """Leader publishes *result* to all followers and releases *key*."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(result)
+
+    def forget(self, key: str, error: Optional[BaseException] = None) -> None:
+        """Leader releases *key* without a shareable result.
+
+        Followers are unblocked with ``None`` (they recompute
+        individually) rather than poisoned with the leader's error —
+        a follower's deadline or fault budget may well differ.
+        """
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(None)
+
+    def __len__(self) -> int:
+        return len(self._inflight)

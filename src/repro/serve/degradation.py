@@ -1,0 +1,201 @@
+"""Graceful degradation: shed optional work before shedding jobs.
+
+Under sustained overload the server climbs a *degradation ladder* —
+each rung trades result fidelity or optional safety work for throughput,
+and only the final rung starts refusing jobs.  When pressure subsides
+the ladder unwinds automatically.
+
+Rungs (cumulative — each includes everything above it):
+
+======  =============  ====================================================
+level   name           effect on newly started jobs
+======  =============  ====================================================
+0       ``normal``     full-fidelity configuration, untouched
+1       ``no_audit``   integrity auditing disabled (costs detection
+                       latency, never correctness — the auditor is a
+                       check, not a transform)
+2       ``coarse``     golden-section refinement coarsened: convergence
+                       thresholds widened ×:data:`COARSE_THRESHOLD_FACTOR`,
+                       so plateaus converge in fewer sweeps
+3       ``capped``     MCMC sweeps per plateau capped at
+                       :data:`CAPPED_MAX_SWEEPS`
+4       ``shed``       admission capacity scaled by
+                       :data:`SHED_ADMISSION_FACTOR` — a slice of incoming
+                       jobs is rejected with backpressure
+======  =============  ====================================================
+
+Every rung yields partitions that still satisfy the blockmodel
+invariant auditor: degraded runs are *less refined*, never corrupt.
+
+The :class:`OverloadDetector` drives transitions from a sliding window
+of queue-pressure samples with high/low watermarks and a cooldown, so a
+single burst doesn't flap the ladder.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional, Tuple
+
+from ..config import SBPConfig
+
+LEVEL_NAMES = ("normal", "no_audit", "coarse", "capped", "shed")
+MAX_LEVEL = len(LEVEL_NAMES) - 1
+
+#: convergence thresholds are widened by this factor at ``coarse``
+COARSE_THRESHOLD_FACTOR = 8.0
+#: hard sweep cap per vertex-move phase at ``capped``
+CAPPED_MAX_SWEEPS = 8
+#: fraction of normal admission capacity kept at ``shed``
+SHED_ADMISSION_FACTOR = 0.25
+#: thresholds live in (0, 1); keep a margin under the open bound
+_THRESHOLD_CEILING = 0.5
+
+
+class DegradationLadder:
+    """Map a degradation level onto a job's :class:`SBPConfig`.
+
+    Stateless apart from the current level; thread-safe.  ``force``
+    pins the ladder at a level (for tests and operator overrides) until
+    ``force(None)`` releases it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._level = 0
+        self._forced: Optional[int] = None
+        self.transitions_total = 0
+
+    @property
+    def level(self) -> int:
+        with self._lock:
+            return self._forced if self._forced is not None else self._level
+
+    @property
+    def level_name(self) -> str:
+        return LEVEL_NAMES[self.level]
+
+    def set_level(self, level: int) -> bool:
+        """Move to *level* (clamped); returns True when it changed."""
+        level = max(0, min(MAX_LEVEL, int(level)))
+        with self._lock:
+            if level == self._level:
+                return False
+            self._level = level
+            self.transitions_total += 1
+            return True
+
+    def force(self, level: Optional[int]) -> None:
+        """Pin the ladder at *level*; ``None`` releases the pin."""
+        with self._lock:
+            self._forced = (
+                None if level is None else max(0, min(MAX_LEVEL, int(level)))
+            )
+
+    def admission_shed_factor(self) -> float:
+        """Queue-capacity scale for the current level."""
+        return SHED_ADMISSION_FACTOR if self.level >= 4 else 1.0
+
+    def apply_config(self, config: SBPConfig) -> Tuple[SBPConfig, int]:
+        """Return *(degraded config, level applied)* for a new job.
+
+        The level is sampled once per job at start; a running job keeps
+        the fidelity it started with.
+        """
+        level = self.level
+        if level == 0:
+            return config, 0
+        changes: dict = {}
+        if level >= 1 and config.integrity.audit:
+            changes["integrity"] = config.integrity.replace(audit=False)
+        if level >= 2:
+            changes["delta_entropy_threshold1"] = min(
+                _THRESHOLD_CEILING,
+                config.delta_entropy_threshold1 * COARSE_THRESHOLD_FACTOR,
+            )
+            changes["delta_entropy_threshold2"] = min(
+                _THRESHOLD_CEILING,
+                config.delta_entropy_threshold2 * COARSE_THRESHOLD_FACTOR,
+            )
+        if level >= 3:
+            changes["max_num_nodal_itr"] = min(
+                config.max_num_nodal_itr, CAPPED_MAX_SWEEPS
+            )
+        if not changes:
+            return config, level
+        return config.replace(**changes), level
+
+
+class OverloadDetector:
+    """Sliding-window overload detector with hysteresis and cooldown.
+
+    Feed it queue-pressure samples in ``[0, 1]`` (e.g. ``depth /
+    max_queue_depth``) via :meth:`observe`; it returns the level the
+    ladder should sit at.
+
+    * window mean > ``high_watermark`` → climb one rung
+    * window mean < ``low_watermark``  → descend one rung
+    * otherwise hold
+
+    Transitions are rate-limited by ``cooldown_s`` so one noisy sample
+    can't flap the ladder.  *clock* is injectable for deterministic
+    tests.
+    """
+
+    def __init__(
+        self,
+        window: int = 8,
+        high_watermark: float = 0.85,
+        low_watermark: float = 0.35,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        if not (0.0 <= low_watermark < high_watermark <= 1.0):
+            raise ValueError(
+                "watermarks must satisfy 0 <= low < high <= 1, got "
+                f"low={low_watermark!r} high={high_watermark!r}"
+            )
+        self.window = window
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._samples: List[float] = []
+        self._level = 0
+        self._last_transition: Optional[float] = None
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def pressure(self) -> float:
+        """Current window mean (0.0 when no samples yet)."""
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def observe(self, sample: float) -> int:
+        """Record one pressure sample; return the recommended level."""
+        sample = max(0.0, min(1.0, float(sample)))
+        self._samples.append(sample)
+        if len(self._samples) > self.window:
+            del self._samples[: len(self._samples) - self.window]
+        if len(self._samples) < self.window:
+            return self._level
+        now = self._clock()
+        if (
+            self._last_transition is not None
+            and now - self._last_transition < self.cooldown_s
+        ):
+            return self._level
+        mean = self.pressure()
+        if mean > self.high_watermark and self._level < MAX_LEVEL:
+            self._level += 1
+            self._last_transition = now
+        elif mean < self.low_watermark and self._level > 0:
+            self._level -= 1
+            self._last_transition = now
+        return self._level

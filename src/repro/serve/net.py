@@ -1,0 +1,199 @@
+"""Line-delimited JSON front end for :class:`~repro.serve.server.PartitionServer`.
+
+One request per line, one JSON response per line — trivially scriptable
+(``nc``, a five-line client, the bundled :class:`ServeClient`) and free
+of framing dependencies.  Operations:
+
+``{"op": "partition", "src": [...], "dst": [...], "weights": [...],
+   "num_vertices": N, "config": {...}, "deadline_s": X,
+   "include_partition": true}``
+    Submit a job; the response is the outcome's
+    :meth:`~repro.serve.job.JobOutcome.to_dict`.
+
+``{"op": "stats"}``
+    Operational snapshot (:meth:`PartitionServer.stats`).
+
+``{"op": "shutdown", "mode": "drain" | "checkpoint"}``
+    Gracefully stop the server; the response carries the shutdown
+    summary, after which the listener closes.
+
+Malformed requests get ``{"ok": false, "error": ...}`` instead of a
+dropped connection, so a buggy client can't wedge the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Optional
+
+from ..config import SBPConfig
+from ..graph.builder import build_graph
+from ..logging_util import get_logger
+from .server import PartitionServer
+
+logger = get_logger("serve.net")
+
+_MAX_LINE_BYTES = 64 * 1024 * 1024  # a million-edge request fits
+
+
+class ServeFrontend:
+    """Bind a :class:`PartitionServer` to a TCP listener."""
+
+    def __init__(self, server: PartitionServer, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.server = server
+        self.host = host
+        self.port = port
+        self._listener: Optional[asyncio.AbstractServer] = None
+        self._shutdown_requested = asyncio.Event()
+
+    async def start(self) -> "ServeFrontend":
+        await self.server.start()
+        self._listener = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=_MAX_LINE_BYTES,
+        )
+        self.port = self._listener.sockets[0].getsockname()[1]
+        logger.info("listening on %s:%d", self.host, self.port)
+        return self
+
+    async def serve_until_shutdown(self) -> dict:
+        """Block until a client sends ``shutdown``; return its summary."""
+        await self._shutdown_requested.wait()
+        return self._shutdown_summary
+
+    async def close(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            await self._listener.wait_closed()
+            self._listener = None
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, {
+                        "ok": False, "error": "request line too long",
+                    })
+                    break
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                await self._send(writer, response)
+                if response.get("op") == "shutdown" and response.get("ok"):
+                    self._shutdown_summary = response["summary"]
+                    self._shutdown_requested.set()
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict:
+        try:
+            request = json.loads(line)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            return {"ok": False, "error": f"bad JSON: {exc}"}
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "request must be a JSON object"}
+        op = request.get("op")
+        try:
+            if op == "partition":
+                return await self._op_partition(request)
+            if op == "stats":
+                return {"ok": True, "op": "stats",
+                        "stats": self.server.stats()}
+            if op == "shutdown":
+                mode = request.get("mode", "drain")
+                summary = await self.server.shutdown(mode)
+                return {"ok": True, "op": "shutdown", "summary": summary}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except (ValueError, TypeError, KeyError) as exc:
+            return {"ok": False, "op": op,
+                    "error": f"{type(exc).__name__}: {exc}"}
+
+    async def _op_partition(self, request: dict) -> dict:
+        src = request["src"]
+        dst = request["dst"]
+        weights = request.get("weights")
+        graph = build_graph(
+            src, dst, weights,
+            num_vertices=request.get("num_vertices"),
+        )
+        config_dict = request.get("config") or {}
+        config = SBPConfig(**config_dict)
+        outcome = await self.server.submit(
+            graph, config,
+            deadline_s=request.get("deadline_s"),
+            use_cache=bool(request.get("use_cache", True)),
+        )
+        payload = outcome.to_dict(
+            include_partition=bool(request.get("include_partition", False))
+        )
+        payload["ok"] = outcome.status not in ("rejected", "failed")
+        payload["op"] = "partition"
+        return payload
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: dict) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+
+class ServeClient:
+    """Blocking convenience client for scripts and tests."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, payload: dict) -> dict:
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def partition(self, src, dst, weights=None, *, num_vertices=None,
+                  config=None, deadline_s=None,
+                  include_partition=False) -> dict:
+        return self.request({
+            "op": "partition",
+            "src": [int(v) for v in src],
+            "dst": [int(v) for v in dst],
+            "weights": None if weights is None
+            else [int(w) for w in weights],
+            "num_vertices": num_vertices,
+            "config": config or {},
+            "deadline_s": deadline_s,
+            "include_partition": include_partition,
+        })
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def shutdown(self, mode: str = "drain") -> dict:
+        return self.request({"op": "shutdown", "mode": mode})
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

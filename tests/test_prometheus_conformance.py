@@ -120,3 +120,48 @@ class TestHelpAndFile:
         content = path.read_text(encoding="utf-8")
         assert content.endswith("\n")
         assert 'gsap_writes_total{seed="0"} 4' in content
+
+
+class TestServeCounters:
+    """The serving layer's counters must scrape like any other metric.
+
+    End-to-end: run a tiny workload through the job server (one unique
+    job coalesced three ways, then a repeat that hits the cache) and
+    assert the cache and single-flight counters render on the exporter
+    page with the exact values the traffic implies.
+    """
+
+    def test_cache_and_singleflight_counters_render(self):
+        import asyncio
+
+        from repro.config import SBPConfig
+        from repro.graph.datasets import load_dataset
+        from repro.serve import PartitionServer, ServeConfig
+
+        graph = load_dataset("low_low", 200, seed=0)[0]
+
+        async def run():
+            async with PartitionServer(
+                ServeConfig(workers=1, cache_capacity=4)
+            ) as srv:
+                # three identical submissions in flight: one leader,
+                # two coalesced followers
+                await asyncio.gather(
+                    srv.submit(graph, SBPConfig(seed=5)),
+                    srv.submit(graph, SBPConfig(seed=5)),
+                    srv.submit(graph, SBPConfig(seed=5)),
+                )
+                # a repeat after completion is a pure cache hit
+                await srv.submit(graph, SBPConfig(seed=5))
+                return prometheus_text(srv.obs.metrics)
+
+        text = asyncio.run(run())
+        lines = _lines(text)
+        assert "gsap_serve_cache_hits_total 1" in lines
+        # all three concurrent submissions probe the cache before the
+        # single-flight table dedupes them
+        assert "gsap_serve_cache_misses_total 3" in lines
+        assert "gsap_serve_singleflight_coalesced_total 2" in lines
+        # the scrape page also documents the serve family
+        assert "# TYPE gsap_serve_cache_hits_total counter" in text
+        assert "# TYPE gsap_serve_singleflight_coalesced_total counter" in text

@@ -1,0 +1,152 @@
+"""Backoff-schedule contract of :mod:`repro.resilience.retry`.
+
+Pins the three properties the serving layer leans on: the jittered
+backoff schedule is *deterministic* under a seed (two runs sleep the
+identical sequence), a fault budget cuts a run off after exactly its
+limit, and the injectable ``sleep`` shim means tests never wait on the
+wall clock.
+"""
+
+import pytest
+
+from repro.errors import DeviceError, RetryExhaustedError
+from repro.resilience.retry import (
+    FaultBudget,
+    ResilienceStats,
+    RetryPolicy,
+    with_retries,
+)
+
+
+def _always_fail(attempt):
+    raise DeviceError(f"boom at attempt {attempt}")
+
+
+def _run_schedule(seed, label="op", max_attempts=5):
+    """Collect the exact sleep sequence of an always-failing operation."""
+    sleeps = []
+    with pytest.raises(RetryExhaustedError):
+        with_retries(
+            _always_fail,
+            RetryPolicy(
+                max_attempts=max_attempts, base_delay_s=0.1,
+                backoff_factor=2.0, max_delay_s=10.0, jitter=0.5,
+            ),
+            seed=seed,
+            label=label,
+            sleep=sleeps.append,
+        )
+    return sleeps
+
+
+class TestDeterministicJitter:
+    def test_same_seed_same_schedule(self):
+        assert _run_schedule(seed=7) == _run_schedule(seed=7)
+
+    def test_different_seed_different_schedule(self):
+        assert _run_schedule(seed=7) != _run_schedule(seed=8)
+
+    def test_different_label_different_stream(self):
+        # two retry sites with the same seed must not sleep in lockstep
+        assert _run_schedule(7, label="merge") != _run_schedule(7, label="move")
+
+    def test_jitter_bounded_around_exponential_base(self):
+        sleeps = _run_schedule(seed=3)
+        assert len(sleeps) == 4  # max_attempts - 1 backoffs
+        for k, slept in enumerate(sleeps, start=1):
+            base = min(0.1 * 2.0 ** (k - 1), 10.0)
+            assert base * 0.5 <= slept <= base * 1.5
+
+    def test_zero_jitter_is_pure_exponential(self):
+        sleeps = []
+        with pytest.raises(RetryExhaustedError):
+            with_retries(
+                _always_fail,
+                RetryPolicy(max_attempts=4, base_delay_s=0.1,
+                            backoff_factor=2.0, max_delay_s=0.3,
+                            jitter=0.0),
+                sleep=sleeps.append,
+            )
+        assert sleeps == pytest.approx([0.1, 0.2, 0.3])  # capped at max
+
+
+class TestBudgetExhaustion:
+    def test_budget_cuts_off_after_exactly_n_faults(self):
+        budget = FaultBudget(3)
+        calls = []
+
+        def fail(attempt):
+            calls.append(attempt)
+            raise DeviceError("persistent")
+
+        with pytest.raises(RetryExhaustedError) as err:
+            with_retries(
+                fail,
+                RetryPolicy(max_attempts=100, base_delay_s=0.0),
+                budget=budget,
+                sleep=lambda s: None,
+            )
+        # the budget absorbs exactly its limit, then the next fault ends
+        # the run: limit + 1 attempts total, not max_attempts
+        assert calls == [0, 1, 2, 3]
+        assert budget.consumed == 4
+        assert "budget" in str(err.value)
+
+    def test_budget_shared_across_retry_sites(self):
+        budget = FaultBudget(2)
+        with_retries(
+            lambda a: 1 if a else (_ for _ in ()).throw(DeviceError("x")),
+            RetryPolicy(max_attempts=3, base_delay_s=0.0),
+            budget=budget, sleep=lambda s: None,
+        )
+        with_retries(
+            lambda a: 1 if a else (_ for _ in ()).throw(DeviceError("x")),
+            RetryPolicy(max_attempts=3, base_delay_s=0.0),
+            budget=budget, sleep=lambda s: None,
+        )
+        assert budget.remaining == 0
+        with pytest.raises(RetryExhaustedError):
+            with_retries(
+                _always_fail,
+                RetryPolicy(max_attempts=3, base_delay_s=0.0),
+                budget=budget, sleep=lambda s: None,
+            )
+
+    def test_success_consumes_nothing(self):
+        budget = FaultBudget(5)
+        assert with_retries(
+            lambda attempt: "ok", RetryPolicy(), budget=budget
+        ) == "ok"
+        assert budget.consumed == 0
+
+
+class TestSleepShim:
+    def test_no_wall_clock_sleep(self):
+        """A shimmed run with real backoff delays finishes instantly."""
+        import time
+
+        recorded = []
+        t0 = time.perf_counter()
+        with pytest.raises(RetryExhaustedError):
+            with_retries(
+                _always_fail,
+                RetryPolicy(max_attempts=6, base_delay_s=5.0,
+                            backoff_factor=2.0, max_delay_s=60.0,
+                            jitter=0.0),
+                sleep=recorded.append,
+            )
+        elapsed = time.perf_counter() - t0
+        assert recorded == pytest.approx([5.0, 10.0, 20.0, 40.0, 60.0])
+        assert elapsed < 1.0, "sleep shim leaked a real time.sleep"
+
+    def test_stats_record_shimmed_backoff(self):
+        stats = ResilienceStats()
+        with pytest.raises(RetryExhaustedError):
+            with_retries(
+                _always_fail,
+                RetryPolicy(max_attempts=3, base_delay_s=1.0, jitter=0.0,
+                            max_delay_s=10.0),
+                stats=stats, sleep=lambda s: None,
+            )
+        assert stats.backoff_s == pytest.approx(3.0)  # 1 + 2
+        assert stats.retries == 2
