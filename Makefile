@@ -1,6 +1,6 @@
 # Convenience targets for the GSAP reproduction.
 
-.PHONY: install test test-fast test-faults test-integrity serve-smoke bench bench-incremental bench-paper perf-baseline perf-check perf-trend examples lint clean
+.PHONY: install test test-fast test-faults test-integrity serve-smoke obs-smoke bench bench-incremental bench-paper perf-baseline perf-check perf-trend examples lint clean
 
 PERF_BASELINE := benchmarks/baselines/perf_baseline_quick.json
 PERF_REPEATS  := 5
@@ -24,6 +24,12 @@ test-integrity:
 # shutdown; fails if any accepted job is lost or shutdown is unclean
 serve-smoke:
 	PYTHONPATH=src python benchmarks/bench_serve.py
+
+# out-of-process flight-deck smoke: boot gsap serve, submit a traced
+# job, poll status, conformance-check the live metrics scrape, replay
+# a flight-recorder dump, drain
+obs-smoke:
+	PYTHONPATH=src python benchmarks/obs_smoke.py
 
 bench:
 	pytest benchmarks/ --benchmark-only

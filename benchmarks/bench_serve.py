@@ -13,6 +13,10 @@ service's core guarantees:
 * **Cached repeats are byte-identical** to the first computation.
 * **Shutdown is clean**: zero unresolved futures, and in-flight work
   is checkpointed or parked, not dropped.
+* **The flight deck sees everything**: every outcome carries a
+  ``trace_id``, the overload burst consumes visible error budget
+  (``status`` shows remaining < 1 and a positive burn rate), and the
+  wide-event ring covers the whole request stream.
 
 Run directly (CI's ``serve-smoke`` job, ``make serve-smoke``)::
 
@@ -76,9 +80,19 @@ async def _drive(seed, num_vertices, checkpoint_root):
             f"steady: non-completed outcomes "
             f"{[o.status for o in outcomes]}",
         )
+        check(
+            all(o.trace_id for o in outcomes),
+            "steady: outcome without a trace_id",
+        )
+        steady_status = srv.status()
+        check(
+            len(steady_status["recent_jobs"]) == len(outcomes),
+            "steady: wide-event ring did not cover every job",
+        )
         report["phases"]["steady"] = {
             "jobs": len(outcomes),
             "outcomes": _tally(outcomes),
+            "slo": _slo_summary(steady_status),
             "runtime_s": time.perf_counter() - t0,
         }
 
@@ -108,11 +122,26 @@ async def _drive(seed, num_vertices, checkpoint_root):
             stats["accepted_total"] + stats["rejected_total"] == 10,
             f"overload: accounting mismatch {stats}",
         )
+        # the burst must be visible on the flight deck: rejections are
+        # SLO-bad events, so the live status shows consumed budget and
+        # a burning fast window.
+        status = srv.status()
+        slo = status["slo"].get("small", {})
+        check(
+            slo.get("error_budget_remaining", 1.0) < 1.0,
+            f"overload: rejections did not consume error budget "
+            f"({slo.get('error_budget_remaining')})",
+        )
+        check(
+            slo.get("burn_rates", {}).get("5m", 0.0) > 0.0,
+            "overload: burst left the 5m burn rate at zero",
+        )
         report["phases"]["overload"] = {
             "jobs": len(outcomes),
             "outcomes": _tally(outcomes),
             "rejected": len(rejected),
             "retry_after_s": [round(o.retry_after_s, 4) for o in rejected],
+            "slo": _slo_summary(status),
             "runtime_s": time.perf_counter() - t0,
         }
 
@@ -217,6 +246,23 @@ def _tally(outcomes):
     return tally
 
 
+def _slo_summary(status):
+    """Per-size-class budget/burn digest of a ``status`` snapshot."""
+    return {
+        cls: {
+            "error_budget_remaining": round(
+                entry["error_budget_remaining"], 6
+            ),
+            "window_bad": entry["window_bad"],
+            "window_total": entry["window_total"],
+            "burn_5m": round(entry["burn_rates"]["5m"], 4),
+            "burn_1h": round(entry["burn_rates"]["1h"], 4),
+            "alerts": entry["alerts"],
+        }
+        for cls, entry in status["slo"].items()
+    }
+
+
 def run_traffic(seed=0, num_vertices=120, checkpoint_root="/tmp/gsap-serve-bench"):
     """Run the full scenario; return the phase report (violations list
     empty on success)."""
@@ -244,8 +290,8 @@ def main(argv=None):
         for violation in report["violations"]:
             print(f"VIOLATION: {violation}", file=sys.stderr)
         return 1
-    print("serve traffic: all guarantees held "
-          "(no lost jobs, explicit backpressure, clean shutdown)")
+    print("serve traffic: all guarantees held (no lost jobs, explicit "
+          "backpressure, clean shutdown, visible SLO burn)")
 
     if args.record:
         workloads = [

@@ -1,0 +1,216 @@
+"""Out-of-process flight-deck smoke test (CI's ``obs-smoke`` job).
+
+Boots ``gsap serve`` as a real subprocess, then exercises the whole
+operational surface over the wire exactly as an operator would:
+
+1. submit one job through :meth:`ServeClient.submit` (client-minted
+   trace context) and check the reply echoes the trace id and that the
+   server wrote a per-job Chrome trace carrying it;
+2. poll the ``status`` verb and check the SLO/flight-recorder snapshot
+   reflects the traffic;
+3. scrape the live ``metrics`` verb and hold the page to the
+   Prometheus text-format conformance rules
+   (:func:`repro.obs.export.validate_prometheus_text`);
+4. trigger a ``dump`` and replay the flight-recorder JSONL;
+5. shut the server down cleanly.
+
+Run directly (``make obs-smoke``)::
+
+    PYTHONPATH=src python benchmarks/obs_smoke.py
+"""
+
+import json
+import re
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.graph.generators import generate_category_graph  # noqa: E402
+from repro.obs.export import validate_prometheus_text  # noqa: E402
+from repro.serve import ServeClient  # noqa: E402
+
+_BANNER_RE = re.compile(r"serving on (?P<host>[\w.\-]+):(?P<port>\d+)")
+
+
+def _edges(graph):
+    src, dst, wgt = [], [], []
+    adj = graph.out_adj
+    for u in range(graph.num_vertices):
+        for k in range(adj.ptr[u], adj.ptr[u + 1]):
+            src.append(u)
+            dst.append(int(adj.nbr[k]))
+            wgt.append(int(adj.wgt[k]))
+    return src, dst, wgt
+
+
+def _boot(scratch: Path) -> subprocess.Popen:
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--host", "127.0.0.1", "--port", "0", "--workers", "1",
+            "--trace-dir", str(scratch / "traces"),
+            "--flight-dir", str(scratch / "flight"),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def _await_banner(proc: subprocess.Popen, timeout_s: float = 60.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited before binding (rc={proc.poll()})"
+            )
+        sys.stdout.write(f"[serve] {line}")
+        match = _BANNER_RE.search(line)
+        if match:
+            return match.group("host"), int(match.group("port"))
+    raise RuntimeError("server did not print its banner in time")
+
+
+def main() -> int:
+    failures = []
+
+    def check(condition, message):
+        if not condition:
+            failures.append(message)
+            print(f"FAIL: {message}", file=sys.stderr)
+
+    scratch = Path(tempfile.mkdtemp(prefix="gsap-obs-smoke-"))
+    graph = generate_category_graph(150, "low", "low", seed=0)[0]
+    src, dst, wgt = _edges(graph)
+
+    proc = _boot(scratch)
+    try:
+        host, port = _await_banner(proc)
+        with ServeClient(host, port, timeout_s=120.0) as client:
+            # 1. a traced job end to end
+            reply = client.submit(
+                src, dst, wgt, num_vertices=graph.num_vertices,
+                config={"seed": 3}, tenant="obs-smoke",
+            )
+            check(reply.get("ok"), f"job failed: {reply}")
+            check(
+                reply.get("status") == "completed",
+                f"unexpected status {reply.get('status')!r}",
+            )
+            trace_id = reply.get("trace_id")
+            check(
+                trace_id and len(trace_id) == 32,
+                f"reply without a minted trace_id: {trace_id!r}",
+            )
+            trace_path = reply.get("trace_path")
+            check(trace_path, "no per-job Chrome trace path in the reply")
+            if trace_path:
+                trace = json.loads(Path(trace_path).read_text())
+                events = trace["traceEvents"]
+                check(events, "per-job Chrome trace is empty")
+                check(
+                    all(
+                        e["args"].get("trace_id") == trace_id
+                        for e in events
+                    ),
+                    "trace contains spans without the client trace_id",
+                )
+                names = {e["name"] for e in events}
+                for expected in ("job", "queue_wait", "admission",
+                                 "attempt"):
+                    check(
+                        expected in names,
+                        f"span {expected!r} missing from the job trace",
+                    )
+
+            # 2. live status
+            status_reply = client.status()
+            check(status_reply.get("ok"), f"status failed: {status_reply}")
+            snap = status_reply["status"]
+            check(
+                snap["stats"]["outcomes"].get("completed") == 1,
+                f"status outcomes wrong: {snap['stats']['outcomes']}",
+            )
+            small = snap["slo"].get("small", {})
+            check(
+                small.get("window_total") == 1
+                and small.get("window_bad") == 0,
+                f"SLO window did not count the job: {small}",
+            )
+            check(
+                snap["flight_recorder"]["buffered"] > 0,
+                "flight recorder is empty after a terminal job",
+            )
+            recent = snap.get("recent_jobs", [])
+            check(
+                recent and recent[-1]["trace_id"] == trace_id,
+                "wide event for the job is not the most recent",
+            )
+
+            # 3. live Prometheus scrape, conformance-checked
+            text = client.metrics()
+            violations = validate_prometheus_text(text)
+            check(
+                not violations,
+                f"metrics page violates the exposition format: "
+                f"{violations}",
+            )
+            for needle in (
+                "gsap_serve_jobs_completed_total",
+                "gsap_serve_slo_error_budget_remaining_small",
+                'service="gsap-serve"',
+            ):
+                check(needle in text, f"metrics page missing {needle!r}")
+
+            # 4. flight-recorder dump replays as JSONL
+            dump_reply = client.dump(reason="smoke")
+            check(dump_reply.get("ok"), f"dump failed: {dump_reply}")
+            if dump_reply.get("ok"):
+                lines = Path(dump_reply["path"]).read_text().splitlines()
+                records = [json.loads(line) for line in lines]
+                check(
+                    records
+                    and records[0]["kind"] == "flight_recorder_dump",
+                    "dump does not open with the header record",
+                )
+                check(
+                    any(
+                        r.get("kind") == "wide_event"
+                        and r["event"]["trace_id"] == trace_id
+                        for r in records
+                    ),
+                    "dump is missing the job's wide event",
+                )
+
+            # 5. clean shutdown
+            summary = client.shutdown("drain")
+            check(summary.get("ok"), f"shutdown failed: {summary}")
+        remainder, _ = proc.communicate(timeout=60)
+        if remainder:
+            sys.stdout.write(remainder)
+        check(
+            proc.returncode == 0,
+            f"server exited {proc.returncode} after drain shutdown",
+        )
+    finally:
+        if proc.poll() is None:
+            proc.terminate()
+            try:
+                proc.wait(timeout=15)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    if failures:
+        print(f"obs smoke: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print("obs smoke: trace, status, metrics, dump and shutdown all OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -400,6 +400,20 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
         "--default-deadline-s", type=float, default=None, metavar="SECONDS",
         help="deadline applied to requests that carry none",
     )
+    p.add_argument(
+        "--trace-dir", metavar="DIR",
+        help="write one Chrome trace per terminal job into DIR",
+    )
+    p.add_argument(
+        "--flight-dir", metavar="DIR",
+        help="directory for flight-recorder dumps (crash/escalation/"
+             "dump verb); default: <checkpoint-root>/flight when a "
+             "checkpoint root is set",
+    )
+    p.add_argument(
+        "--flight-capacity", type=int, default=2048, metavar="N",
+        help="flight-recorder ring size (default: 2048)",
+    )
     p.set_defaults(func=_cmd_serve)
 
 
@@ -408,6 +422,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .serve import PartitionServer, ServeConfig, ServeFrontend
 
+    flight_dir = args.flight_dir
+    if flight_dir is None and args.checkpoint_root is not None:
+        flight_dir = str(Path(args.checkpoint_root) / "flight")
     serve_config = ServeConfig(
         workers=args.workers,
         max_queue_depth=args.max_queue_depth,
@@ -418,6 +435,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_capacity,
         checkpoint_root=args.checkpoint_root,
         default_deadline_s=args.default_deadline_s,
+        trace_dir=args.trace_dir,
+        flight_dir=flight_dir,
+        flight_recorder_capacity=args.flight_capacity,
     )
 
     async def run() -> int:
@@ -425,7 +445,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         frontend = ServeFrontend(server, args.host, args.port)
         await frontend.start()
         print(f"serving on {frontend.host}:{frontend.port} "
-              f"(workers={args.workers}, queue<={args.max_queue_depth})")
+              f"(workers={args.workers}, queue<={args.max_queue_depth})",
+              flush=True)
         try:
             summary = await frontend.serve_until_shutdown()
             print(f"shutdown ({summary['mode']}): {summary['outcomes']}")
@@ -434,6 +455,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             # Ctrl-C: stop fast but safe — checkpoint running jobs,
             # park queued ones, then report what went where.
             summary = await server.shutdown("checkpoint")
+            server.dump_flight("interrupt")
             print(f"\ninterrupted — checkpoint shutdown: "
                   f"{summary['outcomes']}", file=sys.stderr)
             return 130
@@ -445,6 +467,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         # interrupt landed outside the server's own handling
         return 130
+
+
+def _add_top(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running gsap serve instance",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8437)
+    p.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default: 2s)",
+    )
+    p.add_argument(
+        "--once", action="store_true",
+        help="print one frame and exit (no screen clearing)",
+    )
+    p.set_defaults(func=_cmd_top)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .serve.top import run_top
+
+    return run_top(
+        args.host, args.port,
+        interval_s=args.interval,
+        iterations=1 if args.once else None,
+        clear=not args.once,
+    )
 
 
 def _add_bench(sub: argparse._SubParsersAction) -> None:
@@ -940,6 +991,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate(sub)
     _add_partition(sub)
     _add_serve(sub)
+    _add_top(sub)
     _add_bench(sub)
     _add_stream(sub)
     _add_analyze(sub)

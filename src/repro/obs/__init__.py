@@ -10,7 +10,11 @@ The subsystem has four layers (see docs/observability.md):
   JSONL event streams, Prometheus text format;
 * :mod:`repro.obs.report` — per-run Markdown/JSON summaries reproducing
   the paper's Fig. 10 breakdown and convergence curves from captured
-  data.
+  data;
+* :mod:`repro.obs.slo` — declarative latency/availability objectives
+  with sliding-window error budgets and multi-window burn-rate alerts;
+* :mod:`repro.obs.flight` — bounded ring buffer of recent spans and
+  wide events, dumped atomically for post-incident analysis.
 
 :class:`Observability` bundles one tracer + one registry and is what the
 pipeline wires through; :data:`NULL_OBS` is the shared disabled hub.
@@ -20,10 +24,12 @@ from .export import (
     chrome_trace_events,
     jsonl_events,
     prometheus_text,
+    validate_prometheus_text,
     write_chrome_trace,
     write_jsonl,
     write_prometheus,
 )
+from .flight import FLIGHT_RECORDER_SCHEMA, FlightRecorder
 from .hub import NULL_OBS, Observability
 from .metrics import (
     DEFAULT_BUCKETS,
@@ -40,7 +46,14 @@ from .report import (
     run_report_markdown,
     write_run_report,
 )
-from .trace import NULL_TRACER, Span, Tracer
+from .slo import (
+    BURN_WINDOWS,
+    DEFAULT_OBJECTIVES,
+    SLOEngine,
+    SLOObjective,
+    size_class_of,
+)
+from .trace import NULL_TRACER, Span, TraceContext, Tracer
 
 __all__ = [
     "Observability",
@@ -48,6 +61,7 @@ __all__ = [
     "Tracer",
     "NULL_TRACER",
     "Span",
+    "TraceContext",
     "MetricsRegistry",
     "Counter",
     "Gauge",
@@ -61,6 +75,14 @@ __all__ = [
     "write_jsonl",
     "prometheus_text",
     "write_prometheus",
+    "validate_prometheus_text",
+    "SLOEngine",
+    "SLOObjective",
+    "DEFAULT_OBJECTIVES",
+    "BURN_WINDOWS",
+    "size_class_of",
+    "FlightRecorder",
+    "FLIGHT_RECORDER_SCHEMA",
     "build_run_report",
     "run_report_markdown",
     "write_run_report",

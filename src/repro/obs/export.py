@@ -7,6 +7,14 @@ follows the text exposition format version 0.0.4 and can be served from
 a node-exporter textfile collector.  JSONL emits one self-describing
 JSON object per line — spans first, then metrics — for ad-hoc ``jq``
 analysis and log shipping.
+
+Every file writer here is atomic (temp file + ``os.replace`` in the
+destination directory, the same pattern as the checkpoint module): a
+scrape or tail that races an export never observes a half-written
+file.  :func:`validate_prometheus_text` checks an exposition page for
+format violations — spelling of ``NaN``/``+Inf``, label escaping,
+cumulative histogram buckets — so live-served scrapes can be asserted
+against the same rules the file exports obey.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ import json
 import math
 import os
 import re
+import tempfile
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -22,6 +31,30 @@ from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
 from .trace import Tracer
 
 PathLike = Union[str, os.PathLike]
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write *text* to *path* atomically (temp file + rename).
+
+    Same pattern as the checkpoint module (kept local — importing it
+    would drag the core/result import chain into the obs package).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 # ----------------------------------------------------------------------
@@ -64,8 +97,7 @@ def write_chrome_trace(
         "otherData": dict(metadata or {}),
     }
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+    _atomic_write_text(path, json.dumps(payload, indent=1))
     return path
 
 
@@ -110,9 +142,8 @@ def write_jsonl(
 ) -> Path:
     """Write one JSON object per line: spans first, then metrics."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     lines = [json.dumps(e, sort_keys=True) for e in jsonl_events(tracer, registry)]
-    path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    _atomic_write_text(path, "\n".join(lines) + ("\n" if lines else ""))
     return path
 
 
@@ -217,9 +248,159 @@ def write_prometheus(
     labels: Optional[Dict[str, object]] = None,
 ) -> Path:
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        prometheus_text(registry, prefix=prefix, labels=labels),
-        encoding="utf-8",
+    _atomic_write_text(
+        path, prometheus_text(registry, prefix=prefix, labels=labels)
     )
     return path
+
+
+# ----------------------------------------------------------------------
+# Exposition-format validation (for live scrapes)
+# ----------------------------------------------------------------------
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{.*\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\["\\n])*)"'
+)
+
+
+def _valid_sample_value(raw: str) -> bool:
+    """A sample value must spell specials exactly ``NaN``/``+Inf``/``-Inf``."""
+    if raw in ("NaN", "+Inf", "-Inf", "Inf"):
+        return True
+    try:
+        value = float(raw)
+    except ValueError:
+        return False
+    # float() accepts "nan"/"inf"/"infinity" spellings the exposition
+    # format forbids; only plain finite numerals pass through here.
+    return math.isfinite(value)
+
+
+def validate_prometheus_text(text: str) -> List[str]:
+    """Check an exposition page against text-format 0.0.4 rules.
+
+    Returns a list of human-readable violations (empty when the page is
+    clean): malformed comment/sample lines, invalid metric or label
+    names, bad special-value spelling (``nan``/``inf`` lower-case),
+    unescaped quotes in label values, unknown TYPE keywords, histogram
+    bucket series that are non-cumulative or missing the ``+Inf``
+    bucket, and samples for names never declared by a TYPE line when
+    any TYPE lines are present.
+    """
+    violations: List[str] = []
+    typed: Dict[str, str] = {}
+    bucket_series: Dict[str, List[float]] = {}
+    bucket_bounds: Dict[str, List[float]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _METRIC_NAME_RE.match(parts[2]):
+                    violations.append(
+                        f"line {lineno}: malformed {parts[1]} comment: {line!r}"
+                    )
+                    continue
+                if parts[1] == "TYPE":
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    if kind not in (
+                        "counter", "gauge", "histogram", "summary", "untyped"
+                    ):
+                        violations.append(
+                            f"line {lineno}: unknown TYPE {kind!r} "
+                            f"for {parts[2]}"
+                        )
+                    typed[parts[2]] = kind
+            # other comments are free-form
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            violations.append(f"line {lineno}: malformed sample line: {line!r}")
+            continue
+        name = match.group("name")
+        labels_raw = match.group("labels")
+        value_raw = match.group("value")
+        if not _valid_sample_value(value_raw):
+            violations.append(
+                f"line {lineno}: invalid sample value {value_raw!r} "
+                f"for {name} (specials must be NaN/+Inf/-Inf)"
+            )
+        le_value: Optional[str] = None
+        if labels_raw:
+            body = labels_raw[1:-1].rstrip(",")
+            pos = 0
+            while pos < len(body):
+                pair = _LABEL_PAIR_RE.match(body, pos)
+                if not pair:
+                    violations.append(
+                        f"line {lineno}: malformed label set {labels_raw!r}"
+                    )
+                    break
+                if pair.group("key") == "le":
+                    le_value = (
+                        pair.group("value")
+                        .replace("\\\\", "\\")
+                        .replace('\\"', '"')
+                        .replace("\\n", "\n")
+                    )
+                pos = pair.end()
+                if pos < len(body):
+                    if body[pos] != ",":
+                        violations.append(
+                            f"line {lineno}: malformed label set "
+                            f"{labels_raw!r}"
+                        )
+                        break
+                    pos += 1
+        if name.endswith("_bucket") and le_value is not None:
+            base = name[: -len("_bucket")]
+            try:
+                bound = (
+                    math.inf if le_value == "+Inf"
+                    else -math.inf if le_value == "-Inf"
+                    else float(le_value)
+                )
+            except ValueError:
+                violations.append(
+                    f"line {lineno}: non-numeric le={le_value!r} on {name}"
+                )
+                continue
+            if le_value not in ("+Inf", "-Inf") and not math.isfinite(bound):
+                violations.append(
+                    f"line {lineno}: special le bound {le_value!r} must be "
+                    f"spelled +Inf/-Inf on {name}"
+                )
+            try:
+                bucket_series.setdefault(base, []).append(float(value_raw))
+                bucket_bounds.setdefault(base, []).append(bound)
+            except ValueError:
+                pass
+
+    for base, counts in bucket_series.items():
+        bounds = bucket_bounds[base]
+        if not any(math.isinf(b) and b > 0 for b in bounds):
+            violations.append(
+                f"histogram {base}: bucket series missing the +Inf bucket"
+            )
+        ordered = sorted(zip(bounds, counts))
+        values = [c for _, c in ordered]
+        if any(b > a for a, b in zip(values[1:], values)):
+            violations.append(
+                f"histogram {base}: bucket counts are not cumulative"
+            )
+    if typed:
+        declared = set(typed)
+        for base in bucket_series:
+            if base not in declared:
+                violations.append(
+                    f"histogram {base}: _bucket samples without a TYPE line"
+                )
+    return violations

@@ -21,12 +21,20 @@ Metric types
 
 All state serialises with :meth:`MetricsRegistry.to_state` /
 :meth:`load_state` so metrics survive a checkpoint/resume cycle.
+
+Every metric — and the registry's get-or-create table — is
+thread-safe: the serve layer's worker threads bump the shared registry
+concurrently with the event loop, so each mutation happens under the
+owning object's lock.  Single-threaded runs pay one uncontended lock
+acquisition per recording, which is noise next to the NumPy work being
+measured.
 """
 
 from __future__ import annotations
 
 import math
 import re
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -64,11 +72,13 @@ class Counter:
         self.name = _check_name(name)
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease ({amount})")
-        self.value += float(amount)
+        with self._lock:
+            self.value += float(amount)
 
     def to_state(self) -> dict:
         return {"kind": self.kind, "help": self.help, "value": self.value}
@@ -86,12 +96,14 @@ class Gauge:
         self.name = _check_name(name)
         self.help = help
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += float(amount)
+        with self._lock:
+            self.value += float(amount)
 
     def to_state(self) -> dict:
         return {"kind": self.kind, "help": self.help, "value": self.value}
@@ -129,13 +141,16 @@ class Histogram:
         self.count = 0
         self.sum = 0.0
         self._values: List[float] = []
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.bucket_counts[np.searchsorted(self.bounds, value, side="left")] += 1
-        self.count += 1
-        self.sum += value
-        self._values.append(value)
+        idx = int(np.searchsorted(self.bounds, value, side="left"))
+        with self._lock:
+            self.bucket_counts[idx] += 1
+            self.count += 1
+            self.sum += value
+            self._values.append(value)
 
     def observe_many(self, values: Union[np.ndarray, Iterable[float]]) -> None:
         arr = np.asarray(list(values) if not isinstance(values, np.ndarray)
@@ -143,18 +158,22 @@ class Histogram:
         if arr.size == 0:
             return
         idx = np.searchsorted(self.bounds, arr, side="left")
-        self.bucket_counts += np.bincount(idx, minlength=len(self.bucket_counts))
-        self.count += int(arr.size)
-        self.sum += float(arr.sum())
-        self._values.extend(arr.tolist())
+        counts = np.bincount(idx, minlength=len(self.bucket_counts))
+        with self._lock:
+            self.bucket_counts += counts
+            self.count += int(arr.size)
+            self.sum += float(arr.sum())
+            self._values.extend(arr.tolist())
 
     def quantile(self, q: float) -> float:
         """Exact q-quantile of the observed samples (0 when empty)."""
         if not (0.0 <= q <= 1.0):
             raise ValueError(f"quantile must lie in [0, 1], got {q}")
-        if not self._values:
-            return 0.0
-        return float(np.quantile(np.asarray(self._values), q))
+        with self._lock:
+            if not self._values:
+                return 0.0
+            values = np.asarray(self._values)
+        return float(np.quantile(values, q))
 
     @property
     def mean(self) -> float:
@@ -162,31 +181,35 @@ class Histogram:
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ``+Inf`` last."""
-        cum = np.cumsum(self.bucket_counts)
+        with self._lock:
+            cum = np.cumsum(self.bucket_counts)
         pairs = [(b, int(c)) for b, c in zip(self.bounds, cum[:-1])]
         pairs.append((math.inf, int(cum[-1])))
         return pairs
 
     def to_state(self) -> dict:
-        return {
-            "kind": self.kind,
-            "help": self.help,
-            "bounds": list(self.bounds),
-            "bucket_counts": self.bucket_counts.tolist(),
-            "count": self.count,
-            "sum": self.sum,
-            "values": list(self._values),
-        }
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "help": self.help,
+                "bounds": list(self.bounds),
+                "bucket_counts": self.bucket_counts.tolist(),
+                "count": self.count,
+                "sum": self.sum,
+                "values": list(self._values),
+            }
 
     def load_state(self, state: dict) -> None:
         bounds = tuple(state.get("bounds", self.bounds))
-        self.bounds = bounds
-        self.bucket_counts = np.asarray(
-            state.get("bucket_counts", [0] * (len(bounds) + 1)), dtype=np.int64
-        )
-        self.count = int(state.get("count", 0))
-        self.sum = float(state.get("sum", 0.0))
-        self._values = [float(v) for v in state.get("values", [])]
+        with self._lock:
+            self.bounds = bounds
+            self.bucket_counts = np.asarray(
+                state.get("bucket_counts", [0] * (len(bounds) + 1)),
+                dtype=np.int64,
+            )
+            self.count = int(state.get("count", 0))
+            self.sum = float(state.get("sum", 0.0))
+            self._values = [float(v) for v in state.get("values", [])]
 
 
 class Series:
@@ -198,12 +221,14 @@ class Series:
         self.name = _check_name(name)
         self.help = help
         self.points: List[Tuple[float, float]] = []
+        self._lock = threading.Lock()
 
     def append(self, step: Optional[float], value: float) -> None:
         """Append a point; ``step=None`` auto-numbers from the length."""
-        if step is None:
-            step = float(len(self.points))
-        self.points.append((float(step), float(value)))
+        with self._lock:
+            if step is None:
+                step = float(len(self.points))
+            self.points.append((float(step), float(value)))
 
     @property
     def last(self) -> Optional[float]:
@@ -242,9 +267,11 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
 
     def __iter__(self) -> Iterator[Metric]:
-        return iter(self._metrics.values())
+        with self._lock:
+            return iter(list(self._metrics.values()))
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -260,17 +287,18 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
-        existing = self._metrics.get(name)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{existing.kind}, not {cls.kind}"
-                )
-            return existing
-        metric = cls(name, help, **kwargs)
-        self._metrics[name] = metric
-        return metric
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
 
     def counter(self, name: str, help: str = "") -> Counter:
         return self._get_or_create(Counter, name, help)
@@ -291,7 +319,9 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """Plain-dict view of every metric's current value."""
         out: dict = {}
-        for name, metric in sorted(self._metrics.items()):
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for name, metric in items:
             if isinstance(metric, (Counter, Gauge)):
                 out[name] = metric.value
             elif isinstance(metric, Histogram):
@@ -307,7 +337,9 @@ class MetricsRegistry:
         return out
 
     def to_state(self) -> dict:
-        return {name: m.to_state() for name, m in self._metrics.items()}
+        with self._lock:
+            items = list(self._metrics.items())
+        return {name: m.to_state() for name, m in items}
 
     def load_state(self, state: dict) -> None:
         """Merge a saved registry state into this one (resume path)."""

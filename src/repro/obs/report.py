@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import List, Optional, Union
 
 from ..envinfo import environment_fingerprint
+from .export import _atomic_write_text
 from .hub import Observability
 from .metrics import Histogram
 
@@ -326,11 +327,13 @@ def run_report_markdown(report: dict) -> str:
 
 
 def write_run_report(report: dict, path: PathLike) -> Path:
-    """Write *report* to *path*: JSON when it ends in ``.json``, else MD."""
+    """Write *report* to *path*: JSON when it ends in ``.json``, else MD.
+
+    The write is atomic (temp + rename) like every obs file output.
+    """
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
     if path.suffix.lower() == ".json":
-        path.write_text(json.dumps(report, indent=2), encoding="utf-8")
+        _atomic_write_text(path, json.dumps(report, indent=2))
     else:
-        path.write_text(run_report_markdown(report), encoding="utf-8")
+        _atomic_write_text(path, run_report_markdown(report))
     return path

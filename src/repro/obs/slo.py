@@ -1,0 +1,284 @@
+"""SLO engine: declarative objectives, error budgets, burn-rate alerts.
+
+Serving the partitioner means making promises about it: "99% of small
+jobs finish inside 5 seconds".  This module turns such promises into
+live accounting.  Each :class:`SLOObjective` declares, per job
+size-class, a latency threshold and an availability target; the
+:class:`SLOEngine` records every terminal job as *good* (succeeded
+within threshold) or *bad* and derives from its sliding window:
+
+* **error-budget remaining** — the fraction of the availability
+  budget (``1 - target``) not yet spent inside the budget window;
+* **multi-window burn rates** — the classic SRE alerting construction
+  (Google SRE workbook ch. 5): a *page* fires when both the fast 5m
+  and 1h windows burn the budget faster than 14.4×, a *ticket* when
+  both the slow 6h and 3d windows exceed 6×.  Pairing a short and a
+  long window makes alerts both fast (short window reacts) and
+  non-flappy (long window must agree).
+
+Everything is driven by an injectable monotonic clock, so tests and
+the deterministic traffic generator can replay hours of traffic in
+milliseconds.  All mutation is lock-guarded: serve workers record
+outcomes from executor threads while the event loop snapshots.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SLOObjective",
+    "SLOEngine",
+    "DEFAULT_OBJECTIVES",
+    "BURN_WINDOWS",
+    "size_class_of",
+]
+
+#: Alerting windows, keyed by display name (seconds).
+BURN_WINDOWS: Dict[str, float] = {
+    "5m": 300.0,
+    "1h": 3600.0,
+    "6h": 21600.0,
+    "3d": 259200.0,
+}
+
+#: Burn-rate thresholds for the paired-window alerts.
+PAGE_BURN_THRESHOLD = 14.4
+TICKET_BURN_THRESHOLD = 6.0
+
+#: Retention horizon: nothing older than the slowest window matters.
+_RETENTION_S = BURN_WINDOWS["3d"]
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One promise: jobs of *size_class* finish within
+    *latency_threshold_s* at least *availability_target* of the time.
+
+    ``budget_window_s`` is the horizon over which the error budget is
+    accounted (defaults to one hour — long enough to be stable, short
+    enough that a resolved incident's budget visibly recovers).
+    """
+
+    size_class: str
+    latency_threshold_s: float
+    availability_target: float = 0.99
+    budget_window_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.availability_target < 1.0):
+            raise ValueError(
+                f"availability_target must lie in (0, 1), got "
+                f"{self.availability_target}"
+            )
+        if self.latency_threshold_s <= 0:
+            raise ValueError(
+                f"latency_threshold_s must be positive, got "
+                f"{self.latency_threshold_s}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "size_class": self.size_class,
+            "latency_threshold_s": self.latency_threshold_s,
+            "availability_target": self.availability_target,
+            "budget_window_s": self.budget_window_s,
+        }
+
+
+#: Size-class boundaries (inclusive upper vertex counts).
+_SIZE_BOUNDS: Tuple[Tuple[int, str], ...] = (
+    (1_000, "small"),
+    (20_000, "medium"),
+)
+
+
+def size_class_of(num_vertices: int) -> str:
+    """Map a vertex count onto the declared size classes."""
+    for bound, name in _SIZE_BOUNDS:
+        if num_vertices <= bound:
+            return name
+    return "large"
+
+
+DEFAULT_OBJECTIVES: Tuple[SLOObjective, ...] = (
+    SLOObjective("small", latency_threshold_s=5.0),
+    SLOObjective("medium", latency_threshold_s=30.0),
+    SLOObjective("large", latency_threshold_s=120.0),
+)
+
+
+class _Window:
+    """Per-class event log: parallel (timestamp, good) arrays.
+
+    Timestamps are monotone non-decreasing (one writer clock), so
+    window queries are two bisects over the timestamp list plus a
+    prefix-sum lookup — O(log n) per query, no per-event scan.
+    """
+
+    __slots__ = ("times", "goods", "good_prefix")
+
+    def __init__(self) -> None:
+        self.times: List[float] = []
+        self.goods: List[bool] = []
+        #: good_prefix[i] == number of good events among the first i
+        self.good_prefix: List[int] = [0]
+
+    def append(self, t: float, good: bool) -> None:
+        self.times.append(t)
+        self.goods.append(good)
+        self.good_prefix.append(self.good_prefix[-1] + (1 if good else 0))
+
+    def prune(self, horizon: float) -> None:
+        cut = bisect.bisect_left(self.times, horizon)
+        if cut:
+            del self.times[:cut]
+            del self.goods[:cut]
+            base = self.good_prefix[cut]
+            self.good_prefix = [p - base for p in self.good_prefix[cut:]]
+
+    def counts_since(self, t0: float) -> Tuple[int, int]:
+        """(total, bad) events with timestamp >= t0."""
+        lo = bisect.bisect_left(self.times, t0)
+        total = len(self.times) - lo
+        good = self.good_prefix[-1] - self.good_prefix[lo]
+        return total, total - good
+
+
+class SLOEngine:
+    """Sliding-window error-budget accounting over declared objectives.
+
+    Parameters
+    ----------
+    objectives:
+        The promises to track; defaults to :data:`DEFAULT_OBJECTIVES`.
+        Jobs whose size class has no objective are ignored.
+    clock:
+        Monotonic seconds; injectable so tests can simulate days of
+        traffic instantly.
+    """
+
+    def __init__(
+        self,
+        objectives: Optional[Sequence[SLOObjective]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        objs = tuple(objectives) if objectives is not None else DEFAULT_OBJECTIVES
+        self.objectives: Dict[str, SLOObjective] = {}
+        for obj in objs:
+            if obj.size_class in self.objectives:
+                raise ValueError(
+                    f"duplicate SLO objective for size class "
+                    f"{obj.size_class!r}"
+                )
+            self.objectives[obj.size_class] = obj
+        self._clock = clock
+        self._windows: Dict[str, _Window] = {
+            cls: _Window() for cls in self.objectives
+        }
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def record(
+        self, size_class: str, latency_s: float, ok: bool
+    ) -> Optional[bool]:
+        """Record one terminal job; returns whether it was *good*
+        (``None`` when no objective covers the class)."""
+        obj = self.objectives.get(size_class)
+        if obj is None:
+            return None
+        good = bool(ok) and latency_s <= obj.latency_threshold_s
+        with self._lock:
+            # clock read under the lock keeps timestamps monotone even
+            # when several worker threads record simultaneously.
+            now = self._clock()
+            window = self._windows[size_class]
+            window.append(now, good)
+            window.prune(now - _RETENTION_S)
+        return good
+
+    # ------------------------------------------------------------------
+    def _error_rate(self, size_class: str, window_s: float) -> float:
+        """Bad fraction over the trailing window (0.0 when empty)."""
+        window = self._windows.get(size_class)
+        if window is None:
+            return 0.0
+        now = self._clock()
+        with self._lock:
+            total, bad = window.counts_since(now - window_s)
+        if total == 0:
+            return 0.0
+        return bad / total
+
+    def burn_rate(self, size_class: str, window_s: float) -> float:
+        """How many times faster than sustainable the budget burns.
+
+        1.0 means the error budget is being consumed exactly at the
+        rate that exhausts it at the end of the SLO period; 0 means no
+        errors in the window.
+        """
+        obj = self.objectives.get(size_class)
+        if obj is None:
+            return 0.0
+        budget = 1.0 - obj.availability_target
+        return self._error_rate(size_class, window_s) / budget
+
+    def error_budget_remaining(self, size_class: str) -> float:
+        """Fraction of the availability budget left inside the budget
+        window: 1.0 with no traffic/errors, 0.0 (floored) when spent."""
+        obj = self.objectives.get(size_class)
+        if obj is None:
+            return 1.0
+        burned = self.burn_rate(size_class, obj.budget_window_s)
+        return max(0.0, 1.0 - burned)
+
+    def alerts(self, size_class: str) -> List[str]:
+        """Active multi-window burn-rate alerts for the class."""
+        if size_class not in self.objectives:
+            return []
+        active: List[str] = []
+        if (
+            self.burn_rate(size_class, BURN_WINDOWS["5m"]) > PAGE_BURN_THRESHOLD
+            and self.burn_rate(size_class, BURN_WINDOWS["1h"])
+            > PAGE_BURN_THRESHOLD
+        ):
+            active.append("page")
+        if (
+            self.burn_rate(size_class, BURN_WINDOWS["6h"])
+            > TICKET_BURN_THRESHOLD
+            and self.burn_rate(size_class, BURN_WINDOWS["3d"])
+            > TICKET_BURN_THRESHOLD
+        ):
+            active.append("ticket")
+        return active
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """One dict per objective: totals, budget, burn rates, alerts."""
+        out: dict = {}
+        now = self._clock()
+        for cls, obj in sorted(self.objectives.items()):
+            with self._lock:
+                window = self._windows[cls]
+                total, bad = window.counts_since(now - _RETENTION_S)
+                win_total, win_bad = window.counts_since(
+                    now - obj.budget_window_s
+                )
+            out[cls] = {
+                "objective": obj.to_dict(),
+                "events_total": total,
+                "events_bad": bad,
+                "window_total": win_total,
+                "window_bad": win_bad,
+                "error_budget_remaining": self.error_budget_remaining(cls),
+                "burn_rates": {
+                    name: self.burn_rate(cls, seconds)
+                    for name, seconds in BURN_WINDOWS.items()
+                },
+                "alerts": self.alerts(cls),
+            }
+        return out

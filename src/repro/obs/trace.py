@@ -15,11 +15,23 @@ The span list serialises with :meth:`Tracer.to_state` /
 :meth:`Tracer.load_state` so a checkpointed run resumes with its trace
 intact: spans recorded before the kill keep their timestamps and spans
 recorded after the resume continue on the same (monotonic) timeline.
+
+Recording is thread-safe: the serve layer opens a job's spans on the
+event loop and closes them from ``run_in_executor`` worker threads, so
+every mutation of the span list and stack happens under one lock.
+Disabled tracers still bypass the lock entirely.
+
+:class:`TraceContext` is the cross-process identity of one request —
+a ``trace_id`` minted at the client plus an optional parent span — that
+rides the serve protocol so server-side spans stitch to the submission
+that caused them.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -90,6 +102,42 @@ class Span:
             parent=payload.get("parent"),
             kind=str(payload.get("kind", "span")),
             args=dict(payload.get("args", {})),
+        )
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Identity of one end-to-end request across process boundaries.
+
+    ``trace_id`` is minted once, at the outermost client, and carried
+    verbatim through every hop (wire protocol, queue, retries) so all
+    spans of one logical request share it.  ``parent_span_id`` names
+    the client-side span the server-side tree hangs under (free-form;
+    ``None`` when the client did not open one).
+    """
+
+    trace_id: str
+    parent_span_id: Optional[str] = None
+
+    @classmethod
+    def mint(cls, parent_span_id: Optional[str] = None) -> "TraceContext":
+        """Create a fresh context with a random 32-hex-char trace id."""
+        return cls(trace_id=uuid.uuid4().hex, parent_span_id=parent_span_id)
+
+    def to_dict(self) -> dict:
+        payload: dict = {"trace_id": self.trace_id}
+        if self.parent_span_id is not None:
+            payload["parent_span_id"] = self.parent_span_id
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Optional[dict]) -> Optional["TraceContext"]:
+        if not payload or not payload.get("trace_id"):
+            return None
+        parent = payload.get("parent_span_id")
+        return cls(
+            trace_id=str(payload["trace_id"]),
+            parent_span_id=None if parent is None else str(parent),
         )
 
 
@@ -165,6 +213,9 @@ class Tracer:
         self._offset_s = 0.0
         self._spans: List[Span] = []
         self._stack: List[int] = []
+        # serve workers close spans opened on the event loop; all span
+        # list/stack mutation goes through this lock.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -195,35 +246,41 @@ class Tracer:
         """Open a span explicitly; returns its index for :meth:`end`."""
         if not self._enabled:
             return -1
-        index = len(self._spans)
-        parent = self._stack[-1] if self._stack else None
-        self._spans.append(
-            Span(
-                name=name,
-                category=category,
-                start_s=self.now(),
-                depth=len(self._stack),
-                index=index,
-                parent=parent,
-                args=dict(args),
+        with self._lock:
+            index = len(self._spans)
+            parent = self._stack[-1] if self._stack else None
+            self._spans.append(
+                Span(
+                    name=name,
+                    category=category,
+                    start_s=self.now(),
+                    depth=len(self._stack),
+                    index=index,
+                    parent=parent,
+                    args=dict(args),
+                )
             )
-        )
-        self._stack.append(index)
-        return index
+            self._stack.append(index)
+            return index
 
     def end(self, index: Optional[int] = None) -> None:
         """Close the innermost open span (or the one at *index*)."""
-        if not self._enabled or not self._stack:
+        if not self._enabled:
             return
-        top = self._stack.pop()
-        if index is not None and index >= 0 and index != top:
-            # Mismatched close: unwind to the requested span so the tree
-            # stays consistent even if an inner span leaked open.
-            while self._stack and top != index:
-                self._spans[top].duration_s = self.now() - self._spans[top].start_s
-                top = self._stack.pop()
-        span = self._spans[top]
-        span.duration_s = self.now() - span.start_s
+        with self._lock:
+            if not self._stack:
+                return
+            top = self._stack.pop()
+            if index is not None and index >= 0 and index != top:
+                # Mismatched close: unwind to the requested span so the tree
+                # stays consistent even if an inner span leaked open.
+                while self._stack and top != index:
+                    self._spans[top].duration_s = (
+                        self.now() - self._spans[top].start_s
+                    )
+                    top = self._stack.pop()
+            span = self._spans[top]
+            span.duration_s = self.now() - span.start_s
 
     def add_complete(
         self,
@@ -246,40 +303,42 @@ class Tracer:
             start = self.now() - duration_s
         else:
             start = start_abs_s - self._epoch + self._offset_s
-        index = len(self._spans)
-        parent = self._stack[-1] if self._stack else None
-        self._spans.append(
-            Span(
-                name=name,
-                category=category,
-                start_s=start,
-                duration_s=float(duration_s),
-                depth=len(self._stack),
-                index=index,
-                parent=parent,
-                args=dict(args or {}),
+        with self._lock:
+            index = len(self._spans)
+            parent = self._stack[-1] if self._stack else None
+            self._spans.append(
+                Span(
+                    name=name,
+                    category=category,
+                    start_s=start,
+                    duration_s=float(duration_s),
+                    depth=len(self._stack),
+                    index=index,
+                    parent=parent,
+                    args=dict(args or {}),
+                )
             )
-        )
 
     def instant(self, name: str, category: str = "event", **args: Any) -> None:
         """Record a zero-duration point event."""
         if not self._enabled:
             return
-        index = len(self._spans)
-        parent = self._stack[-1] if self._stack else None
-        self._spans.append(
-            Span(
-                name=name,
-                category=category,
-                start_s=self.now(),
-                duration_s=0.0,
-                depth=len(self._stack),
-                index=index,
-                parent=parent,
-                kind="instant",
-                args=dict(args),
+        with self._lock:
+            index = len(self._spans)
+            parent = self._stack[-1] if self._stack else None
+            self._spans.append(
+                Span(
+                    name=name,
+                    category=category,
+                    start_s=self.now(),
+                    duration_s=0.0,
+                    depth=len(self._stack),
+                    index=index,
+                    parent=parent,
+                    kind="instant",
+                    args=dict(args),
+                )
             )
-        )
 
     def close_open_spans(self) -> None:
         """Force-close any spans still open (used before exporting)."""
@@ -293,12 +352,13 @@ class Tracer:
         """Serialise closed spans plus the current clock reading."""
         if not self._enabled:
             return {}
-        return {
-            "clock_s": self.now(),
-            "spans": [
-                s.to_dict() for s in self._spans if s.duration_s is not None
-            ],
-        }
+        with self._lock:
+            return {
+                "clock_s": self.now(),
+                "spans": [
+                    s.to_dict() for s in self._spans if s.duration_s is not None
+                ],
+            }
 
     def load_state(self, state: dict) -> None:
         """Restore spans saved by :meth:`to_state` into this tracer.
@@ -310,14 +370,15 @@ class Tracer:
         if not self._enabled or not state:
             return
         restored = [Span.from_dict(p) for p in state.get("spans", [])]
-        base = len(self._spans)
-        for span in restored:
-            span.index += base
-            if span.parent is not None:
-                span.parent += base
-            self._spans.append(span)
-        clock_s = float(state.get("clock_s", 0.0))
-        self._offset_s += max(0.0, clock_s - (self.now() - self._offset_s))
+        with self._lock:
+            base = len(self._spans)
+            for span in restored:
+                span.index += base
+                if span.parent is not None:
+                    span.parent += base
+                self._spans.append(span)
+            clock_s = float(state.get("clock_s", 0.0))
+            self._offset_s += max(0.0, clock_s - (self.now() - self._offset_s))
 
 
 #: Shared disabled tracer for call sites without an observability hub.

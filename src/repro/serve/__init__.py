@@ -10,10 +10,12 @@ Public surface:
 * :class:`ServeFrontend` / :class:`ServeClient` — the ``gsap serve``
   TCP JSONL front end and its blocking client.
 * :class:`JobOutcome` — terminal state of every accepted submission.
+* :func:`render_status` / :func:`run_top` — the ``gsap top`` terminal
+  dashboard over the ``status`` verb.
 
 See ``docs/serving.md`` for the architecture: admission control,
-deadlines, graceful degradation, result caching, and shutdown
-semantics.
+deadlines, graceful degradation, result caching, shutdown semantics,
+and the flight deck (tracing, SLOs, live ops verbs, flight recorder).
 """
 
 from .admission import AdmissionController
@@ -39,7 +41,8 @@ from .job import (
     park_job,
 )
 from .net import ServeClient, ServeFrontend
-from .server import PartitionServer, ServeConfig
+from .server import WIDE_EVENT_SCHEMA, PartitionServer, ServeConfig
+from .top import render_status, run_top
 
 __all__ = [
     "AdmissionController",
@@ -64,4 +67,7 @@ __all__ = [
     "ServeFrontend",
     "PartitionServer",
     "ServeConfig",
+    "WIDE_EVENT_SCHEMA",
+    "render_status",
+    "run_top",
 ]

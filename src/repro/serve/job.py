@@ -63,7 +63,15 @@ def graph_work_bytes(graph: DiGraphCSR) -> int:
 
 @dataclass
 class JobSpec:
-    """One accepted partition request."""
+    """One accepted partition request.
+
+    ``trace_id`` is the request's end-to-end identity: minted by the
+    outermost client (:meth:`~repro.serve.net.ServeClient.submit`) or,
+    for callers that did not bring one, by the server at submission.
+    Every span and the terminal wide event carry it verbatim.
+    ``tenant`` is a free-form attribution label; ``parent_span_id``
+    names the client-side span the server-side tree hangs under.
+    """
 
     job_id: str
     graph: DiGraphCSR
@@ -72,6 +80,9 @@ class JobSpec:
     work_bytes: int
     submitted_at: float
     deadline_s: Optional[float] = None
+    tenant: Optional[str] = None
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
     @property
     def num_vertices(self) -> int:
@@ -101,6 +112,9 @@ class JobOutcome:
     degradation_level:
         The server's degradation-ladder level the job executed under
         (0 = full-fidelity).
+    trace_id / trace_path:
+        The end-to-end trace identity the job ran under, and — when the
+        server writes per-job Chrome traces — the file it landed in.
     """
 
     job_id: str
@@ -116,6 +130,8 @@ class JobOutcome:
     reject_reason: Optional[str] = None
     degradation_level: int = 0
     error: Optional[str] = None
+    trace_id: Optional[str] = None
+    trace_path: Optional[str] = None
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -142,6 +158,10 @@ class JobOutcome:
             "retries": self.retries,
             "degradation_level": self.degradation_level,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        if self.trace_path is not None:
+            payload["trace_path"] = self.trace_path
         if self.checkpoint_dir is not None:
             payload["checkpoint_dir"] = self.checkpoint_dir
         if self.retry_after_s is not None:

@@ -13,9 +13,29 @@ of framing dependencies.  Operations:
 ``{"op": "stats"}``
     Operational snapshot (:meth:`PartitionServer.stats`).
 
+``{"op": "status"}``
+    The live flight-deck snapshot (:meth:`PartitionServer.status`):
+    stats, per-size-class SLO/error-budget/burn-rate state, flight
+    recorder statistics, and the most recent wide events.  This is
+    what ``gsap top`` polls.
+
+``{"op": "metrics"}``
+    The shared registry rendered live in Prometheus text exposition
+    format (``{"text": "..."}``) — a scrape endpoint, not an at-exit
+    file dump.
+
+``{"op": "dump", "path": "...", "reason": "..."}``
+    Dump the flight recorder to disk (both fields optional; without
+    ``path`` the server's ``flight_dir`` names the file).
+
 ``{"op": "shutdown", "mode": "drain" | "checkpoint"}``
     Gracefully stop the server; the response carries the shutdown
     summary, after which the listener closes.
+
+``partition`` requests may carry ``trace_id``/``parent_span_id``
+(stitching the server-side span tree to the client's trace; see
+:meth:`ServeClient.submit`, which mints them) and a free-form
+``tenant`` label.
 
 Malformed requests get ``{"ok": false, "error": ...}`` instead of a
 dropped connection, so a buggy client can't wedge the service.
@@ -26,11 +46,13 @@ from __future__ import annotations
 import asyncio
 import json
 import socket
+import uuid
 from typing import Optional
 
 from ..config import SBPConfig
 from ..graph.builder import build_graph
 from ..logging_util import get_logger
+from ..obs.trace import TraceContext
 from .server import PartitionServer
 
 logger = get_logger("serve.net")
@@ -113,6 +135,24 @@ class ServeFrontend:
             if op == "stats":
                 return {"ok": True, "op": "stats",
                         "stats": self.server.stats()}
+            if op == "status":
+                return {"ok": True, "op": "status",
+                        "status": self.server.status()}
+            if op == "metrics":
+                return {"ok": True, "op": "metrics",
+                        "text": self.server.metrics_text()}
+            if op == "dump":
+                path = self.server.dump_flight(
+                    str(request.get("reason", "on_demand")),
+                    path=request.get("path"),
+                )
+                if path is None:
+                    return {
+                        "ok": False, "op": "dump",
+                        "error": "no dump destination: pass \"path\" or "
+                                 "start the server with a flight_dir",
+                    }
+                return {"ok": True, "op": "dump", "path": str(path)}
             if op == "shutdown":
                 mode = request.get("mode", "drain")
                 summary = await self.server.shutdown(mode)
@@ -132,10 +172,18 @@ class ServeFrontend:
         )
         config_dict = request.get("config") or {}
         config = SBPConfig(**config_dict)
+        trace_id = request.get("trace_id")
+        parent_span_id = request.get("parent_span_id")
+        tenant = request.get("tenant")
         outcome = await self.server.submit(
             graph, config,
             deadline_s=request.get("deadline_s"),
             use_cache=bool(request.get("use_cache", True)),
+            tenant=None if tenant is None else str(tenant),
+            trace_id=None if trace_id is None else str(trace_id),
+            parent_span_id=(
+                None if parent_span_id is None else str(parent_span_id)
+            ),
         )
         payload = outcome.to_dict(
             include_partition=bool(request.get("include_partition", False))
@@ -166,9 +214,9 @@ class ServeClient:
         return json.loads(line)
 
     def partition(self, src, dst, weights=None, *, num_vertices=None,
-                  config=None, deadline_s=None,
-                  include_partition=False) -> dict:
-        return self.request({
+                  config=None, deadline_s=None, include_partition=False,
+                  tenant=None, trace_id=None, parent_span_id=None) -> dict:
+        payload = {
             "op": "partition",
             "src": [int(v) for v in src],
             "dst": [int(v) for v in dst],
@@ -178,10 +226,57 @@ class ServeClient:
             "config": config or {},
             "deadline_s": deadline_s,
             "include_partition": include_partition,
-        })
+        }
+        if tenant is not None:
+            payload["tenant"] = tenant
+        if trace_id is not None:
+            payload["trace_id"] = trace_id
+        if parent_span_id is not None:
+            payload["parent_span_id"] = parent_span_id
+        return self.request(payload)
+
+    def submit(self, src, dst, weights=None, *, num_vertices=None,
+               config=None, deadline_s=None, include_partition=False,
+               tenant=None) -> dict:
+        """Submit with a client-minted trace context.
+
+        Mints a fresh ``trace_id`` (and a client-side parent span id)
+        here — the outermost hop of the request — so every server-side
+        span of this job stitches to this submission.  The reply echoes
+        the ``trace_id``.
+        """
+        context = TraceContext.mint(parent_span_id=f"client-{uuid.uuid4().hex[:16]}")
+        return self.partition(
+            src, dst, weights,
+            num_vertices=num_vertices, config=config,
+            deadline_s=deadline_s, include_partition=include_partition,
+            tenant=tenant,
+            trace_id=context.trace_id,
+            parent_span_id=context.parent_span_id,
+        )
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})
+
+    def status(self) -> dict:
+        """Live flight-deck snapshot (stats + SLO + flight recorder)."""
+        return self.request({"op": "status"})
+
+    def metrics(self) -> str:
+        """Live Prometheus text exposition page."""
+        reply = self.request({"op": "metrics"})
+        if not reply.get("ok"):
+            raise ConnectionError(
+                f"metrics request failed: {reply.get('error')}"
+            )
+        return reply["text"]
+
+    def dump(self, path=None, reason: str = "on_demand") -> dict:
+        """Ask the server to dump its flight recorder."""
+        payload = {"op": "dump", "reason": reason}
+        if path is not None:
+            payload["path"] = str(path)
+        return self.request(payload)
 
     def shutdown(self, mode: str = "drain") -> dict:
         return self.request({"op": "shutdown", "mode": mode})

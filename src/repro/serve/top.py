@@ -1,0 +1,170 @@
+"""``gsap top``: a refreshing terminal dashboard over the ``status`` verb.
+
+Polls a running ``gsap serve`` instance's TCP ``status`` operation and
+renders the flight-deck snapshot — pressure, outcomes, cache
+effectiveness, per-size-class SLO/error-budget/burn-rate state, flight
+recorder, and the most recent jobs — as plain text.  No curses
+dependency: a full-screen ANSI clear between frames is enough for a
+polling dashboard and keeps the renderer trivially testable
+(:func:`render_status` is a pure function of the status payload).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+from .net import ServeClient
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_duration(seconds: float) -> str:
+    seconds = max(0.0, float(seconds))
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    return f"{minutes}m{secs:02d}s"
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "-" * (width - filled)
+
+
+def render_status(payload: dict, width: int = 78) -> str:
+    """Render one ``status`` payload as a text dashboard frame."""
+    stats = payload.get("stats", {})
+    admission = stats.get("admission", {})
+    cache = stats.get("cache", {})
+    outcomes = stats.get("outcomes", {})
+    slo = payload.get("slo", {})
+    flight = payload.get("flight_recorder", {})
+    recent = payload.get("recent_jobs", [])
+
+    lines = []
+    rule = "=" * width
+    lines.append(rule)
+    lines.append(
+        f" gsap serve · up {_fmt_duration(payload.get('uptime_s', 0.0))}"
+        f" · degradation {stats.get('degradation_level', 0)}"
+        f" ({stats.get('degradation_name', 'normal')})"
+        + ("  [SHUTTING DOWN]" if stats.get("shutting_down") else "")
+    )
+    lines.append(rule)
+    depth = admission.get("depth", 0)
+    lines.append(
+        f" queue depth {depth:>4}"
+        f" · inflight {admission.get('inflight_bytes', 0):,} B"
+        f" · shed x{admission.get('shed_factor', 1.0):g}"
+        f" · running {len(stats.get('running', []))}"
+    )
+    total_jobs = sum(outcomes.values()) if outcomes else 0
+    outcome_bits = " ".join(
+        f"{status}={count}" for status, count in sorted(outcomes.items())
+    )
+    lines.append(f" outcomes ({total_jobs}): {outcome_bits or '—'}")
+    hits = cache.get("hits_total", 0)
+    misses = cache.get("misses_total", 0)
+    ratio = hits / (hits + misses) if (hits + misses) else 0.0
+    lines.append(
+        f" cache {cache.get('size', 0)}/{cache.get('capacity', 0)}"
+        f" · hit ratio {ratio:.0%}"
+        f" · coalesced {stats.get('singleflight_coalesced_total', 0)}"
+    )
+    lines.append("")
+    lines.append(
+        f" {'class':<8} {'budget remaining':<38} "
+        f"{'burn 5m':>8} {'burn 1h':>8} alerts"
+    )
+    for cls, entry in sorted(slo.items()):
+        budget = entry.get("error_budget_remaining", 1.0)
+        burns = entry.get("burn_rates", {})
+        alerts = ",".join(entry.get("alerts", [])) or "-"
+        lines.append(
+            f" {cls:<8} [{_bar(budget)}] {budget:>6.1%}"
+            f" ({entry.get('window_bad', 0)}/{entry.get('window_total', 0)} bad)"
+            f" {burns.get('5m', 0.0):>8.2f} {burns.get('1h', 0.0):>8.2f}"
+            f" {alerts}"
+        )
+    if not slo:
+        lines.append("   (no SLO objectives configured)")
+    lines.append("")
+    lines.append(
+        f" flight recorder: {flight.get('buffered', 0)}"
+        f"/{flight.get('capacity', 0)} buffered"
+        f" · {flight.get('dumps_total', 0)} dumps"
+        + (
+            f" · last: {flight.get('last_dump_reason')}"
+            if flight.get("last_dump_reason") else ""
+        )
+    )
+    if recent:
+        lines.append("")
+        lines.append(
+            f" {'job':<12} {'status':<12} {'class':<7} {'lat(s)':>8}"
+            f" {'rung':>4}  trace"
+        )
+        for event in recent[-8:][::-1]:
+            latency = (
+                event.get("queue_wait_s", 0.0) + event.get("service_s", 0.0)
+            )
+            lines.append(
+                f" {event.get('job_id', '?'):<12}"
+                f" {event.get('status', '?'):<12}"
+                f" {event.get('size_class', '?'):<7}"
+                f" {latency:>8.3f}"
+                f" {event.get('degradation', {}).get('level', 0):>4}"
+                f"  {str(event.get('trace_id', ''))[:16]}"
+            )
+    lines.append(rule)
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str,
+    port: int,
+    *,
+    interval_s: float = 2.0,
+    iterations: Optional[int] = None,
+    out: TextIO = sys.stdout,
+    sleep: Callable[[float], None] = time.sleep,
+    clear: bool = True,
+) -> int:
+    """Poll ``status`` and redraw until interrupted (or *iterations*).
+
+    Returns a process exit code: 0 on a clean stop, 1 when the first
+    connection attempt fails (the server is not up).
+    """
+    frames = 0
+    try:
+        while iterations is None or frames < iterations:
+            try:
+                with ServeClient(host, port) as client:
+                    reply = client.status()
+            except (ConnectionError, OSError) as exc:
+                if frames == 0:
+                    out.write(f"gsap top: cannot reach {host}:{port}: {exc}\n")
+                    return 1
+                out.write(f"gsap top: connection lost: {exc}\n")
+                return 0
+            if not reply.get("ok"):
+                out.write(f"gsap top: server error: {reply.get('error')}\n")
+                return 1
+            frame = render_status(reply["status"])
+            if clear and (iterations is None or iterations > 1):
+                out.write(_CLEAR)
+            out.write(frame + "\n")
+            out.flush()
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                break
+            sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0

@@ -1,0 +1,161 @@
+"""SLO engine: objectives, error budgets, multi-window burn-rate alerts."""
+
+import pytest
+
+from repro.obs.slo import (
+    BURN_WINDOWS,
+    DEFAULT_OBJECTIVES,
+    SLOEngine,
+    SLOObjective,
+    size_class_of,
+)
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.t = start
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_engine(target=0.99, threshold=1.0, window=3600.0):
+    clock = FakeClock()
+    engine = SLOEngine(
+        objectives=[
+            SLOObjective(
+                "small",
+                latency_threshold_s=threshold,
+                availability_target=target,
+                budget_window_s=window,
+            )
+        ],
+        clock=clock,
+    )
+    return engine, clock
+
+
+class TestObjective:
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            SLOObjective("x", latency_threshold_s=1.0, availability_target=1.0)
+        with pytest.raises(ValueError):
+            SLOObjective("x", latency_threshold_s=0.0)
+
+    def test_duplicate_class_rejected(self):
+        with pytest.raises(ValueError):
+            SLOEngine(
+                objectives=[
+                    SLOObjective("a", latency_threshold_s=1.0),
+                    SLOObjective("a", latency_threshold_s=2.0),
+                ]
+            )
+
+    def test_size_classes_cover_defaults(self):
+        assert size_class_of(100) == "small"
+        assert size_class_of(1_000) == "small"
+        assert size_class_of(1_001) == "medium"
+        assert size_class_of(20_000) == "medium"
+        assert size_class_of(20_001) == "large"
+        classes = {o.size_class for o in DEFAULT_OBJECTIVES}
+        assert {"small", "medium", "large"} <= classes
+
+
+class TestRecording:
+    def test_good_requires_ok_and_within_threshold(self):
+        engine, _ = make_engine(threshold=1.0)
+        assert engine.record("small", 0.5, ok=True) is True
+        assert engine.record("small", 2.0, ok=True) is False  # too slow
+        assert engine.record("small", 0.5, ok=False) is False  # failed
+        assert engine.record("unknown_class", 0.5, ok=True) is None
+
+    def test_budget_full_with_no_traffic(self):
+        engine, _ = make_engine()
+        assert engine.error_budget_remaining("small") == 1.0
+        assert engine.burn_rate("small", 300.0) == 0.0
+        assert engine.alerts("small") == []
+
+    def test_budget_consumed_by_errors(self):
+        engine, _ = make_engine(target=0.9)  # 10% budget
+        for i in range(95):
+            engine.record("small", 0.1, ok=True)
+        for i in range(5):
+            engine.record("small", 0.1, ok=False)
+        # 5% error rate against a 10% budget → burn 0.5, half remaining
+        assert engine.burn_rate("small", 3600.0) == pytest.approx(0.5)
+        assert engine.error_budget_remaining("small") == pytest.approx(0.5)
+
+    def test_budget_floors_at_zero(self):
+        engine, _ = make_engine(target=0.99)
+        for i in range(10):
+            engine.record("small", 0.1, ok=False)
+        assert engine.error_budget_remaining("small") == 0.0
+
+
+class TestWindows:
+    def test_old_events_age_out_of_fast_window(self):
+        engine, clock = make_engine(target=0.99)
+        for i in range(10):
+            engine.record("small", 0.1, ok=False)
+        assert engine.burn_rate("small", BURN_WINDOWS["5m"]) > 0
+        clock.advance(BURN_WINDOWS["5m"] + 1)
+        # fast window is clean, slow windows still see the errors
+        assert engine.burn_rate("small", BURN_WINDOWS["5m"]) == 0.0
+        assert engine.burn_rate("small", BURN_WINDOWS["1h"]) > 0
+
+    def test_retention_prunes_past_3d(self):
+        engine, clock = make_engine()
+        for i in range(5):
+            engine.record("small", 0.1, ok=False)
+        clock.advance(BURN_WINDOWS["3d"] + 10)
+        engine.record("small", 0.1, ok=True)
+        snap = engine.snapshot()["small"]
+        assert snap["events_total"] == 1
+        assert snap["events_bad"] == 0
+
+
+class TestAlerts:
+    def test_page_needs_both_fast_windows(self):
+        engine, clock = make_engine(target=0.99)
+        # 100% error rate → burn 100x in every window containing events
+        for i in range(20):
+            engine.record("small", 0.1, ok=False)
+        assert "page" in engine.alerts("small")
+        # once the 5m window is clean the page resolves (1h still burning)
+        clock.advance(BURN_WINDOWS["5m"] + 1)
+        assert "page" not in engine.alerts("small")
+
+    def test_ticket_fires_on_slow_windows(self):
+        engine, clock = make_engine(target=0.99)
+        for i in range(20):
+            engine.record("small", 0.1, ok=False)
+        assert "ticket" in engine.alerts("small")
+        clock.advance(BURN_WINDOWS["6h"] + 1)
+        assert "ticket" not in engine.alerts("small")
+
+    def test_no_alerts_below_threshold(self):
+        engine, _ = make_engine(target=0.9)  # 10% budget
+        # 5% errors → burn 0.5 everywhere, far below both thresholds
+        for i in range(95):
+            engine.record("small", 0.1, ok=True)
+        for i in range(5):
+            engine.record("small", 0.1, ok=False)
+        assert engine.alerts("small") == []
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        engine, _ = make_engine()
+        engine.record("small", 0.1, ok=True)
+        engine.record("small", 5.0, ok=True)
+        snap = engine.snapshot()
+        assert set(snap) == {"small"}
+        entry = snap["small"]
+        assert entry["events_total"] == 2
+        assert entry["events_bad"] == 1
+        assert set(entry["burn_rates"]) == set(BURN_WINDOWS)
+        assert entry["objective"]["size_class"] == "small"
+        assert 0.0 <= entry["error_budget_remaining"] <= 1.0

@@ -1,0 +1,153 @@
+"""Multi-thread hammer tests for the obs primitives.
+
+The serve layer's worker threads bump the shared registry and close
+spans concurrently with the event loop; without per-object locks, the
+read-modify-write updates below lose increments.  Each test hammers one
+primitive from many threads and asserts exact totals.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry, Series
+from repro.obs.slo import SLOEngine
+from repro.obs.trace import Tracer
+
+THREADS = 8
+ITERS = 2000
+
+
+def _hammer(fn):
+    """Run *fn(thread_index)* on THREADS threads; propagate exceptions."""
+    errors = []
+
+    def worker(idx):
+        try:
+            fn(idx)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+class TestMetricsHammer:
+    def test_counter_increments_are_not_lost(self):
+        counter = Counter("hammer_total")
+        _hammer(lambda idx: [counter.inc() for _ in range(ITERS)])
+        assert counter.value == THREADS * ITERS
+
+    def test_gauge_inc_is_atomic(self):
+        gauge = Gauge("hammer_gauge")
+        _hammer(lambda idx: [gauge.inc(1.0) for _ in range(ITERS)])
+        assert gauge.value == THREADS * ITERS
+
+    def test_histogram_counts_and_sum_balance(self):
+        hist = Histogram("hammer_seconds", buckets=(0.5, 1.5, 2.5))
+
+        def observe(idx):
+            for i in range(ITERS):
+                hist.observe(float(idx % 3))
+
+        _hammer(observe)
+        assert hist.count == THREADS * ITERS
+        # bucket counts must sum to the total observation count
+        assert int(hist.bucket_counts.sum()) == THREADS * ITERS
+        pairs = hist.cumulative_buckets()
+        assert pairs[-1][1] == THREADS * ITERS
+
+    def test_histogram_observe_many_concurrent(self):
+        hist = Histogram("hammer_batch", buckets=(0.0, 10.0))
+        batch = np.arange(50, dtype=np.float64)
+        _hammer(lambda idx: [hist.observe_many(batch) for _ in range(50)])
+        assert hist.count == THREADS * 50 * batch.size
+        assert hist.sum == pytest.approx(THREADS * 50 * float(batch.sum()))
+
+    def test_series_appends_all_points(self):
+        series = Series("hammer_series")
+        _hammer(
+            lambda idx: [series.append(None, float(i)) for i in range(ITERS)]
+        )
+        assert len(series.points) == THREADS * ITERS
+        # auto-numbered steps must be unique (len check alone would pass
+        # even if two threads raced the same step index)
+        steps = {s for s, _ in series.points}
+        assert len(steps) == THREADS * ITERS
+
+    def test_registry_get_or_create_single_instance(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def create(idx):
+            for i in range(200):
+                seen.append(registry.counter("shared_total"))
+
+        _hammer(create)
+        assert len(registry) == 1
+        first = registry.get("shared_total")
+        assert all(c is first for c in seen)
+
+    def test_registry_concurrent_distinct_names(self):
+        registry = MetricsRegistry()
+
+        def create(idx):
+            for i in range(100):
+                registry.counter(f"metric_{idx}_{i}").inc()
+
+        _hammer(create)
+        assert len(registry) == THREADS * 100
+        snap = registry.snapshot()
+        assert all(v == 1.0 for v in snap.values())
+
+
+class TestTracerHammer:
+    def test_add_complete_assigns_unique_indices(self):
+        tracer = Tracer(enabled=True)
+        _hammer(
+            lambda idx: [
+                tracer.add_complete(f"k{idx}", "kernel", 0.001)
+                for _ in range(ITERS)
+            ]
+        )
+        spans = tracer.spans()
+        assert len(spans) == THREADS * ITERS
+        assert len({s.index for s in spans}) == THREADS * ITERS
+
+    def test_instants_from_many_threads(self):
+        tracer = Tracer(enabled=True)
+        _hammer(
+            lambda idx: [tracer.instant(f"e{idx}") for _ in range(ITERS)]
+        )
+        assert len(tracer.spans()) == THREADS * ITERS
+
+    def test_disabled_tracer_stays_empty(self):
+        tracer = Tracer(enabled=False)
+        _hammer(
+            lambda idx: [
+                tracer.add_complete("k", "kernel", 0.001) for _ in range(100)
+            ]
+        )
+        assert tracer.spans() == []
+
+
+class TestSLOHammer:
+    def test_concurrent_records_all_counted(self):
+        engine = SLOEngine()
+        _hammer(
+            lambda idx: [
+                engine.record("small", 0.1, ok=(i % 2 == 0))
+                for i in range(ITERS)
+            ]
+        )
+        snap = engine.snapshot()["small"]
+        assert snap["events_total"] == THREADS * ITERS
+        assert snap["events_bad"] == THREADS * ITERS // 2

@@ -11,7 +11,11 @@ import math
 
 import pytest
 
-from repro.obs.export import prometheus_text, write_prometheus
+from repro.obs.export import (
+    prometheus_text,
+    validate_prometheus_text,
+    write_prometheus,
+)
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -165,3 +169,97 @@ class TestServeCounters:
         # the scrape page also documents the serve family
         assert "# TYPE gsap_serve_cache_hits_total counter" in text
         assert "# TYPE gsap_serve_singleflight_coalesced_total counter" in text
+
+
+class TestValidator:
+    """The validator must reject the violations the exporter avoids."""
+
+    def test_clean_page_passes(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", help="with \\ and\nnewline").inc()
+        reg.gauge("ratio").set(float("nan"))
+        reg.histogram("lat_s", buckets=[0.1, 1.0]).observe(0.5)
+        text = prometheus_text(reg, labels={"path": 'a\\b"c"\nd'})
+        assert validate_prometheus_text(text) == []
+
+    def test_lowercase_nan_and_inf_rejected(self):
+        bad = "gsap_x nan\ngsap_y inf\n"
+        violations = validate_prometheus_text(bad)
+        assert len(violations) == 2
+        assert all("invalid sample value" in v for v in violations)
+
+    def test_missing_inf_bucket_detected(self):
+        bad = (
+            "# TYPE gsap_h histogram\n"
+            'gsap_h_bucket{le="1"} 2\n'
+            "gsap_h_sum 1.0\ngsap_h_count 2\n"
+        )
+        assert any(
+            "missing the +Inf bucket" in v
+            for v in validate_prometheus_text(bad)
+        )
+
+    def test_non_cumulative_buckets_detected(self):
+        bad = (
+            "# TYPE gsap_h histogram\n"
+            'gsap_h_bucket{le="1"} 5\n'
+            'gsap_h_bucket{le="+Inf"} 3\n'
+        )
+        assert any(
+            "not cumulative" in v for v in validate_prometheus_text(bad)
+        )
+
+    def test_unescaped_quote_in_label_detected(self):
+        bad = 'gsap_x{path="a"b"} 1\n'
+        assert any(
+            "malformed label set" in v
+            for v in validate_prometheus_text(bad)
+        )
+
+
+class TestLiveMetricsVerb:
+    """The TCP ``metrics`` verb serves the same conformant page live.
+
+    Acceptance criterion: the live scrape must pass the conformance
+    validator byte-for-byte — i.e. the verb returns exactly
+    :meth:`PartitionServer.metrics_text` and that text is clean.
+    """
+
+    def test_live_scrape_matches_server_page_and_validates(self):
+        import asyncio
+        import json
+
+        from repro.config import SBPConfig
+        from repro.graph.datasets import load_dataset
+        from repro.serve import PartitionServer, ServeConfig, ServeFrontend
+
+        graph = load_dataset("low_low", 150, seed=0)[0]
+
+        async def run():
+            server = PartitionServer(ServeConfig(workers=1))
+            frontend = ServeFrontend(server, "127.0.0.1", 0)
+            await frontend.start()
+            await server.submit(graph, SBPConfig(seed=3))
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", frontend.port
+            )
+            writer.write(b'{"op": "metrics"}\n')
+            await writer.drain()
+            reply = json.loads(await reader.readline())
+            expected = server.metrics_text()
+            await server.shutdown("drain")
+            await frontend.close()
+            writer.close()
+            return reply, expected
+
+        reply, expected = asyncio.run(run())
+        assert reply["ok"]
+        text = reply["text"]
+        # byte-for-byte: the verb is the exporter, not a re-renderer
+        assert text == expected
+        assert validate_prometheus_text(text) == []
+        # the flight-deck families are on the live page
+        assert "# TYPE gsap_serve_jobs_completed_total counter" in text
+        assert "gsap_serve_slo_error_budget_remaining_small" in text
+        assert "gsap_serve_slo_burn_rate_5m_small" in text
+        assert 'service="gsap-serve"' in text
