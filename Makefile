@@ -1,6 +1,6 @@
 # Convenience targets for the GSAP reproduction.
 
-.PHONY: install test test-fast test-faults test-integrity serve-smoke obs-smoke bench bench-incremental bench-paper perf-baseline perf-check perf-trend examples lint clean
+.PHONY: install test test-fast test-faults test-dist test-integrity serve-smoke obs-smoke bench bench-incremental bench-paper perf-baseline perf-check perf-trend examples lint clean
 
 PERF_BASELINE := benchmarks/baselines/perf_baseline_quick.json
 PERF_REPEATS  := 5
@@ -16,6 +16,9 @@ test-fast:
 
 test-faults:
 	pytest tests/ -m faults
+
+test-dist:
+	pytest tests/ -m dist
 
 test-integrity:
 	pytest tests/test_integrity.py

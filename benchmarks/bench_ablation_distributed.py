@@ -8,8 +8,16 @@ graph and reports the communication volume: bytes on the wire grow
 ~linearly with ranks for the same move traffic, while partition quality
 stays flat — scaling nodes buys parallelism but pays quadratic message
 count, exactly the trade the paper cites.
+
+A second phase runs the **comm fault matrix** over the message-passing
+runtime (``docs/distributed.md``): the same workload under frame drops,
+corruption, duplication + reordering, and a mid-run rank crash.  Message
+faults must be absorbed with a byte-identical partition (they live below
+the CRC/sequence machinery); the crash run must recover and land within
+MDL tolerance of the fault-free run.
 """
 
+import numpy as np
 import pytest
 
 from _bench_utils import ablation_workload, pedantic_once, write_bench_record
@@ -17,9 +25,25 @@ from repro.baselines.edist import EDiStPartitioner
 from repro.bench.workloads import bench_config
 from repro.graph.datasets import load_dataset
 from repro.metrics import nmi
+from repro.resilience.faults import FaultPlan, FaultSpec
 
 _RESULTS = {}
+_FAULT_RESULTS = {}
 RANK_COUNTS = (1, 2, 4, 8)
+
+#: the comm-fault matrix: scenario name -> fault plan (4 ranks)
+FAULT_SCENARIOS = {
+    "clean": FaultPlan(),
+    "drop": FaultPlan([FaultSpec(kind="msg_drop", at=3, count=4)]),
+    "corrupt": FaultPlan(
+        [FaultSpec(kind="msg_corrupt", at=8, count=4, index=13, bit=5)]
+    ),
+    "dup+reorder": FaultPlan([
+        FaultSpec(kind="msg_duplicate", at=4, count=6),
+        FaultSpec(kind="msg_reorder", at=2, count=6),
+    ]),
+    "rank_crash": FaultPlan([FaultSpec(kind="rank_crash", at=6, rank=2)]),
+}
 
 
 @pytest.mark.parametrize("ranks", RANK_COUNTS)
@@ -35,11 +59,37 @@ def test_edist_at_rank_count(benchmark, ranks):
     )
 
 
+@pytest.mark.parametrize("scenario", sorted(FAULT_SCENARIOS))
+def test_edist_comm_fault_matrix(benchmark, scenario):
+    graph, truth = load_dataset("low_low", 200, seed=1)
+    partitioner = EDiStPartitioner(
+        bench_config(seed=4), num_ranks=4,
+        fault_plan=FAULT_SCENARIOS[scenario],
+    )
+    result = pedantic_once(benchmark, partitioner.partition, graph)
+    comm = partitioner.comm
+    _FAULT_RESULTS[scenario] = {
+        "partition": np.asarray(result.partition).copy(),
+        "mdl": result.mdl,
+        "nmi": nmi(result.partition, truth),
+        "runtime_s": result.total_time_s,
+        "retransmits": comm.retransmits,
+        "faults": (comm.dropped_frames + comm.corrupt_frames
+                   + comm.duplicate_frames + comm.reorder_events),
+        "crashes": comm.crashes,
+        "recoveries": comm.recoveries,
+        "recovery_s": comm.recovery_s,
+        "backoff_s": comm.backoff_s,
+    }
+
+
 def test_zzz_report(benchmark, capsys):
     assert set(_RESULTS) == set(RANK_COUNTS)
+    assert set(_FAULT_RESULTS) == set(FAULT_SCENARIOS)
     rows = pedantic_once(
         benchmark, lambda: [(k, *_RESULTS[k]) for k in sorted(_RESULTS)]
     )
+    fault_rows = [(k, _FAULT_RESULTS[k]) for k in sorted(_FAULT_RESULTS)]
     write_bench_record(
         "ablation_distributed",
         [
@@ -51,11 +101,33 @@ def test_zzz_report(benchmark, capsys):
                 quality={"nmi": [quality]},
             )
             for ranks, _nbytes, _messages, quality, runtime in rows
+        ] + [
+            ablation_workload(
+                f"EDiSt/low_low/200#fault={scenario}",
+                runtime_s=[m["runtime_s"]],
+                algorithm="EDiSt", category="low_low", num_vertices=200,
+                variant=f"fault={scenario}",
+                quality={"nmi": [m["nmi"]], "mdl": [m["mdl"]]},
+            )
+            for scenario, m in fault_rows
         ],
         seed=4, label="edist_all_to_all_volume",
         extras={
             "bytes_on_wire": {str(r): n for r, n, _, _, _ in rows},
             "messages": {str(r): m for r, _, m, _, _ in rows},
+            "fault_matrix": {
+                scenario: {
+                    "faults_injected": m["faults"],
+                    "retransmits": m["retransmits"],
+                    "crashes": m["crashes"],
+                    "recoveries": m["recoveries"],
+                    "recovery_s": m["recovery_s"],
+                    "backoff_s": m["backoff_s"],
+                    "mdl": m["mdl"],
+                    "nmi": m["nmi"],
+                }
+                for scenario, m in fault_rows
+            },
         },
     )
     with capsys.disabled():
@@ -65,7 +137,23 @@ def test_zzz_report(benchmark, capsys):
         print("|---|---|---|---|")
         for ranks, nbytes, messages, quality, _runtime in rows:
             print(f"| {ranks} | {nbytes:,} | {messages:,} | {quality:.3f} |")
+        print("\n### Comm fault matrix (EDiSt, 4 ranks)\n")
+        print("| scenario | faults | retransmits | crashes | NMI | MDL |")
+        print("|---|---|---|---|---|---|")
+        for scenario, m in fault_rows:
+            print(f"| {scenario} | {m['faults']} | {m['retransmits']} | "
+                  f"{m['crashes']} | {m['nmi']:.3f} | {m['mdl']:.1f} |")
     # communication grows with rank count; quality does not improve
     volumes = [v for _, v, _, _, _ in rows]
     assert volumes == sorted(volumes)
     assert volumes[-1] > volumes[1] > volumes[0] == 0
+    # oracle 1: message faults never change the answer
+    clean = _FAULT_RESULTS["clean"]
+    for scenario in ("drop", "corrupt", "dup+reorder"):
+        m = _FAULT_RESULTS[scenario]
+        assert m["faults"] > 0 and m["mdl"] == clean["mdl"]
+        np.testing.assert_array_equal(m["partition"], clean["partition"])
+    # oracle 2: the crash run recovers and lands within MDL tolerance
+    crash = _FAULT_RESULTS["rank_crash"]
+    assert crash["crashes"] == 1 and crash["recoveries"] == 1
+    assert crash["mdl"] <= clean["mdl"] * 1.05

@@ -8,19 +8,23 @@ section singles out that "the all-to-all communication pattern in EDiSt
 becomes a significant bottleneck as the number of nodes increases".
 
 Without MPI in this environment, the ranks execute sequentially
-in-process (the same substitution style as the simulated GPU): the
-algorithm — shard-local stale-replica evaluation, round-synchronous
-all-to-all move exchange — is the real one, and the communication layer
-counts every byte and message so the bottleneck claim is measurable
-(``bench_ablation_distributed.py``).
+in-process (the same substitution style as the simulated GPU), but the
+communication layer is a real subsystem (:mod:`repro.dist`): accepted
+moves travel as CRC32-framed, sequence-numbered messages through a
+fault-plan-driven channel, lost or corrupt frames trigger bounded
+retransmission, a heartbeat failure detector spots crashed ranks at the
+round barrier, and survivors re-shard and continue after a deterministic
+recovery audit.  Two oracles pin the refactor down (see
+``docs/distributed.md``): a fault-free run is byte-identical to the
+direct in-process exchange, and recovery runs land within an MDL
+tolerance of fault-free ones.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,9 +32,24 @@ from ..blockmodel.delta import move_delta_dense
 from ..blockmodel.dense import DenseBlockmodel
 from ..blockmodel.entropy import description_length
 from ..config import SBPConfig
-from ..errors import PartitionError
+from ..dist import (
+    MOVE_RECORD_BYTES,
+    Communicator,
+    CommStats,
+    DistStats,
+    MoveLogRing,
+    audit_recovery,
+    pack_moves,
+    recovery_cost_s,
+    shard_vertices,
+    unpack_moves,
+)
+from ..errors import CommError, PartitionError
 from ..graph.csr import DiGraphCSR
-from ..types import INDEX_DTYPE
+from ..logging_util import get_logger
+from ..obs import Observability
+from ..resilience.faults import FaultPlan
+from ..resilience.retry import FaultBudget, RetryPolicy
 from .common import (
     CPUSBPEngine,
     MovePhaseResult,
@@ -39,29 +58,27 @@ from .common import (
     vertex_neighborhood,
 )
 
-#: bytes per exchanged move record: (vertex id, from block, to block)
-MOVE_RECORD_BYTES = 3 * 8
+__all__ = ["CommStats", "DistStats", "EDiStPartitioner", "MOVE_RECORD_BYTES"]
 
-
-@dataclass
-class CommStats:
-    """Counters of the simulated interconnect."""
-
-    rounds: int = 0
-    messages: int = 0
-    bytes_sent: int = 0
-
-    def record_alltoall(self, num_ranks: int, payload_bytes_per_rank: List[int]) -> None:
-        """One all-to-all: every rank sends its payload to every other."""
-        self.rounds += 1
-        for payload in payload_bytes_per_rank:
-            # (num_ranks - 1) point-to-point messages per rank
-            self.messages += num_ranks - 1
-            self.bytes_sent += payload * (num_ranks - 1)
+logger = get_logger("baselines.edist")
 
 
 class EDiStPartitioner(CPUSBPEngine):
-    """Distributed-SBP baseline with rank sharding + all-to-all exchange."""
+    """Distributed-SBP baseline riding on the simulated message fabric.
+
+    Parameters
+    ----------
+    num_ranks:
+        Simulated compute nodes; each owns one contiguous vertex shard.
+    fault_plan:
+        Optional :class:`~repro.resilience.faults.FaultPlan` whose
+        communication faults (``msg_*``, ``rank_crash``) are injected
+        into the interconnect.  Device fault kinds in the same plan are
+        ignored here (no simulated device is involved).
+    move_log_capacity:
+        Rounds of applied moves the replicated recovery log retains
+        before folding into its base snapshot.
+    """
 
     name = "EDiSt"
 
@@ -70,21 +87,118 @@ class EDiStPartitioner(CPUSBPEngine):
         config: Optional[SBPConfig] = None,
         num_ranks: int = 4,
         max_plateaus: int = 128,
+        fault_plan: Optional[FaultPlan] = None,
+        move_log_capacity: int = 64,
     ) -> None:
         super().__init__(config, max_plateaus)
         if num_ranks < 1:
             raise PartitionError("num_ranks must be >= 1")
         self.num_ranks = num_ranks
-        self.comm = CommStats()
+        self.fault_plan = fault_plan
+        self.move_log_capacity = move_log_capacity
+        self.comm = DistStats()
+        self.obs = Observability.from_config(self.config.observability)
+        self._runtime: Optional[Communicator] = None
+        self._shard_layouts: set = set()
+        self._warned_empty = False
 
     # ------------------------------------------------------------------
     def _shards(self, num_vertices: int) -> List[np.ndarray]:
-        """Contiguous vertex shards, one per rank (EDiSt's 1-D layout)."""
-        bounds = np.linspace(0, num_vertices, self.num_ranks + 1).astype(int)
-        return [
-            np.arange(bounds[i], bounds[i + 1], dtype=INDEX_DTYPE)
-            for i in range(self.num_ranks)
-        ]
+        """Contiguous vertex shards over the *configured* rank count."""
+        return shard_vertices(num_vertices, self.num_ranks)
+
+    def _live_shards(self, num_vertices: int) -> Dict[int, np.ndarray]:
+        """Current shard per live rank, re-sharded after any crash.
+
+        Empty shards (more ranks than vertices) are explicit: counted
+        once per distinct layout on ``comm.empty_shards`` (and the
+        ``dist_empty_shards_total`` metric), warned about once per run,
+        and naturally skipped by the local phase and the zero-payload
+        message rule.
+        """
+        live = sorted(self._runtime.live) if self._runtime else list(
+            range(self.num_ranks)
+        )
+        shards = shard_vertices(num_vertices, len(live))
+        layout_key = (num_vertices, tuple(live))
+        if layout_key not in self._shard_layouts:
+            self._shard_layouts.add(layout_key)
+            empties = sum(1 for shard in shards if len(shard) == 0)
+            if empties:
+                self.comm.empty_shards += empties
+                self.obs.count(
+                    "dist_empty_shards_total", empties,
+                    help="empty vertex shards (more ranks than vertices)",
+                )
+                if not self._warned_empty:
+                    self._warned_empty = True
+                    logger.warning(
+                        "%d of %d ranks own an empty vertex shard "
+                        "(%d vertices over %d ranks); they will idle",
+                        empties, len(live), num_vertices, len(live),
+                    )
+        return dict(zip(live, shards))
+
+    # ------------------------------------------------------------------
+    def partition(self, graph: DiGraphCSR):
+        resilience = self.config.resilience
+        self.comm = DistStats()
+        self._shard_layouts = set()
+        self._warned_empty = False
+        self._runtime = Communicator(
+            self.num_ranks,
+            plan=self.fault_plan,
+            seed=self.config.seed,
+            retry_policy=RetryPolicy(
+                max_attempts=resilience.max_attempts,
+                base_delay_s=resilience.base_delay_s,
+                backoff_factor=resilience.backoff_factor,
+                max_delay_s=resilience.max_delay_s,
+                jitter=resilience.jitter,
+                retry_on=(CommError,),
+            ),
+            budget=FaultBudget(resilience.fault_budget),
+            stats=self.comm,
+            obs=self.obs,
+        )
+        result = super().partition(graph)
+        result.sim_time_s = self._runtime.sim_time_s
+        result.dist = {
+            **self.comm.to_dict(),
+            "num_ranks": self.num_ranks,
+            "live_ranks": sorted(self._runtime.live),
+            "sim_time_s": self._runtime.sim_time_s,
+        }
+        if self.obs.enabled:
+            self.obs.gauge_set("dist_ranks", self.num_ranks,
+                               help="configured rank count")
+            self.obs.gauge_set("dist_live_ranks", len(self._runtime.live),
+                               help="ranks alive at run end")
+            if self.comm.recovery_s:
+                self.obs.observe("dist_recovery_seconds",
+                                 self.comm.recovery_s,
+                                 help="simulated time spent in rank recovery")
+        return result
+
+    # ------------------------------------------------------------------
+    def _recover(self, failed_ranks: List[int], bmap: np.ndarray,
+                 ring: MoveLogRing) -> None:
+        """Survivors' recovery: audit the replicated log, re-shard, go on."""
+        with self.obs.span("dist_recovery", "dist",
+                           failed_ranks=list(failed_ranks)):
+            audit_recovery(ring, bmap)
+            cost = recovery_cost_s(ring.replayable_moves())
+            self.comm.recoveries += 1
+            self.comm.recovery_s += cost
+            self._runtime.sim_time_s += cost
+            self.obs.count("dist_recoveries_total",
+                           help="rank-crash recoveries completed")
+        survivors = sorted(self._runtime.live)
+        logger.warning(
+            "rank(s) %s declared dead; re-sharded over %d survivor(s) "
+            "after recovery audit (%d logged rounds replayable)",
+            failed_ranks, len(survivors), len(ring),
+        )
 
     def _move_phase(
         self,
@@ -98,7 +212,10 @@ class EDiStPartitioner(CPUSBPEngine):
         config = self.config
         num_vertices = graph.num_vertices
         total_weight = graph.total_edge_weight
-        shards = self._shards(num_vertices)
+        comm = self._runtime
+        if comm is None:
+            raise PartitionError("EDiSt move phase needs an active runtime")
+        ring = MoveLogRing(bmap, capacity=self.move_log_capacity)
 
         mdl = description_length(model, num_vertices, total_weight)
         scale = abs(initial_mdl_scale)
@@ -107,15 +224,22 @@ class EDiStPartitioner(CPUSBPEngine):
         proposal_time = 0.0
         converged = False
         sweeps = 0
+        attempts = 0
 
-        for sweep in range(config.max_num_nodal_itr):
-            sweeps = sweep + 1
+        while sweeps < config.max_num_nodal_itr:
+            attempts += 1
+            if attempts > config.max_num_nodal_itr + self.num_ranks + 8:
+                raise PartitionError(
+                    "distributed move phase failed to make progress "
+                    "(crash/recovery loop)"
+                )
+            shard_map = self._live_shards(num_vertices)
             # --- local phase: every rank evaluates its shard against the
             # replica frozen at round start (stale reads are the point)
-            accepted_per_rank: List[list] = []
-            for shard in shards:
-                accepted: list = []
-                for v in rng.permutation(shard):
+            accepted_per_rank: Dict[int, List[Tuple[int, int, int]]] = {}
+            for rank in sorted(shard_map):
+                accepted: List[Tuple[int, int, int]] = []
+                for v in rng.permutation(shard_map[rank]):
                     v = int(v)
                     r = int(bmap[v])
                     nbhd = vertex_neighborhood(graph, bmap, v)
@@ -136,17 +260,50 @@ class EDiStPartitioner(CPUSBPEngine):
                     exponent = min(700.0, max(-700.0, -config.beta * delta))
                     if rng.random() < min(1.0, math.exp(exponent) * hastings):
                         accepted.append((v, r, s))
-                accepted_per_rank.append(accepted)
+                accepted_per_rank[rank] = accepted
 
-            # --- all-to-all: each rank broadcasts its accepted moves
-            self.comm.record_alltoall(
-                self.num_ranks,
-                [len(a) * MOVE_RECORD_BYTES for a in accepted_per_rank],
-            )
+            # --- all-to-all: each rank broadcasts its accepted moves as
+            # framed messages; loss/corruption retransmits and crash
+            # detection happen inside the communicator
+            payloads = {
+                rank: pack_moves(moves) if moves else b""
+                for rank, moves in accepted_per_rank.items()
+            }
+            round_index = comm.round_index
+            outcome = comm.exchange(payloads)
+            if not outcome.ok:
+                # crash detected: the round is discarded everywhere
+                # (deterministically — no survivor applied anything),
+                # survivors recover and the sweep re-runs re-sharded
+                self._recover(outcome.failed_ranks, bmap, ring)
+                continue
+
+            # replica-consistency oracle: every survivor must have
+            # received exactly the payload each peer broadcast
+            for dst, from_src in (outcome.delivered or {}).items():
+                for src, payload in from_src.items():
+                    if payload != payloads.get(src, b""):
+                        raise PartitionError(
+                            f"replica exchange diverged: rank {dst} "
+                            f"received a payload from rank {src} that "
+                            f"does not match what was broadcast"
+                        )
 
             # --- apply phase: every replica applies the global move set
-            for accepted in accepted_per_rank:
-                for v, r, s in accepted:
+            # in rank order (the shared model/bmap stand in for the
+            # replicas, exactly like the sequential-rank substitution)
+            applied: List[Tuple[int, int, int]] = []
+            for rank in sorted(accepted_per_rank):
+                moves = accepted_per_rank[rank]
+                if rank != min(accepted_per_rank):
+                    # every other rank's moves arrive off the wire; use
+                    # the lowest live rank's inbox as the canonical copy
+                    received = (outcome.delivered or {}).get(
+                        min(accepted_per_rank), {}
+                    ).get(rank)
+                    if received:
+                        moves = unpack_moves(received)
+                for v, r, s in moves:
                     current = int(bmap[v])
                     if current == s:
                         continue
@@ -158,10 +315,13 @@ class EDiStPartitioner(CPUSBPEngine):
                         nbhd.self_weight,
                     )
                     bmap[v] = s
+                    applied.append((v, r, s))
+            ring.append(round_index, applied)
 
             new_mdl = description_length(model, num_vertices, total_weight)
             window.append(mdl - new_mdl)
             mdl = new_mdl
+            sweeps += 1
             if len(window) > config.delta_entropy_moving_avg_window:
                 window.pop(0)
             if len(window) == config.delta_entropy_moving_avg_window:

@@ -12,7 +12,12 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..baselines import ISBPPartitioner, ReferenceSBP, USAPPartitioner
+from ..baselines import (
+    EDiStPartitioner,
+    ISBPPartitioner,
+    ReferenceSBP,
+    USAPPartitioner,
+)
 from ..config import SBPConfig
 from ..core.partitioner import GSAPPartitioner
 from ..core.result import PartitionResult
@@ -76,6 +81,8 @@ def make_partitioner(algorithm: str, config: SBPConfig):
         return ISBPPartitioner(config)
     if algorithm == "reference":
         return ReferenceSBP(config)
+    if algorithm == "EDiSt":
+        return EDiStPartitioner(config)
     raise ReproError(f"unknown algorithm {algorithm!r}")
 
 

@@ -95,7 +95,7 @@ def _add_partition(sub: argparse._SubParsersAction) -> None:
     p.add_argument(
         "--algo",
         default="GSAP",
-        choices=["GSAP", "uSAP", "I-SBP", "reference"],
+        choices=["GSAP", "uSAP", "I-SBP", "reference", "EDiSt"],
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", help="write the partition as TSV")
@@ -123,6 +123,16 @@ def _add_partition(sub: argparse._SubParsersAction) -> None:
         "--fault-plan", metavar="FILE",
         help="JSON fault plan to inject into the simulated device "
              "(chaos testing)",
+    )
+    p.add_argument(
+        "--dist-ranks", type=int, default=4, metavar="N",
+        help="simulated compute nodes for --algo EDiSt (default: 4)",
+    )
+    p.add_argument(
+        "--dist-fault-plan", metavar="FILE",
+        help="JSON fault plan whose communication faults (msg_*, "
+             "rank_crash) are injected into the simulated interconnect "
+             "(EDiSt only)",
     )
     p.add_argument(
         "--no-incremental", action="store_true",
@@ -207,6 +217,7 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             integrity=config.integrity.replace(**integrity_changes)
         )
     is_gsap = args.algo == "GSAP"
+    is_edist = args.algo == "EDiSt"
     if integrity_changes and not is_gsap:
         print(
             f"--audit/--audit-every/--repair are only supported for GSAP, "
@@ -215,18 +226,40 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         )
         return 2
     wants_obs = bool(args.trace_out or args.metrics_out or args.events_out)
-    if wants_obs and not is_gsap:
+    if wants_obs and not (is_gsap or is_edist):
         print(
             f"--trace-out/--metrics-out/--events-out are only supported "
-            f"for GSAP, not {args.algo}",
+            f"for GSAP and EDiSt, not {args.algo}",
             file=sys.stderr,
         )
         return 2
-    if wants_obs or (args.run_report and is_gsap):
+    if wants_obs or (args.run_report and (is_gsap or is_edist)):
         config = config.replace(
             observability=config.observability.replace(enabled=True)
         )
-    partitioner = make_partitioner(args.algo, config)
+    if args.dist_fault_plan and not is_edist:
+        print(
+            f"--dist-fault-plan is only supported for EDiSt, not {args.algo}"
+            f" (use --fault-plan for device faults)",
+            file=sys.stderr,
+        )
+        return 2
+    if is_edist:
+        from .baselines import EDiStPartitioner
+        from .resilience import FaultPlan
+
+        dist_plan = None
+        if args.dist_fault_plan:
+            dist_plan = FaultPlan.from_json_file(args.dist_fault_plan)
+            print(
+                f"installed comm fault plan with {len(dist_plan)} fault(s) "
+                f"over {args.dist_ranks} ranks"
+            )
+        partitioner = EDiStPartitioner(
+            config, num_ranks=args.dist_ranks, fault_plan=dist_plan
+        )
+    else:
+        partitioner = make_partitioner(args.algo, config)
     if (args.resume or args.checkpoint) and not is_gsap:
         print(
             f"--resume/--checkpoint are only supported for GSAP, not {args.algo}",
@@ -244,6 +277,13 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         from .serve import CancelToken
 
         cancel = CancelToken(args.deadline_s, checkpoint_dir=args.checkpoint)
+    if args.fault_plan and is_edist:
+        print(
+            "--fault-plan targets the simulated device; use "
+            "--dist-fault-plan to inject faults into EDiSt's interconnect",
+            file=sys.stderr,
+        )
+        return 2
     if args.fault_plan:
         from .gpusim.device import get_default_device
         from .resilience import FaultPlan, install_fault_injector
@@ -322,6 +362,31 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         )
         for rung, n in sorted(integ.repairs_by_rung.items()):
             print(f"  repaired via {rung}: {n}")
+    if result.dist:
+        d = result.dist
+        print(
+            f"distributed    : {d['num_ranks']} rank(s), "
+            f"{d['rounds']} round(s), {d['messages']} message(s), "
+            f"{d['bytes_sent']} byte(s) on the wire"
+        )
+        absorbed = (
+            d["dropped_frames"] + d["corrupt_frames"]
+            + d["duplicate_frames"] + d["reorder_events"]
+        )
+        if absorbed or d["retransmits"]:
+            print(
+                f"  comm faults  : {d['dropped_frames']} dropped, "
+                f"{d['corrupt_frames']} corrupt, "
+                f"{d['duplicate_frames']} duplicated, "
+                f"{d['reorder_events']} reordered -> "
+                f"{d['retransmits']} retransmit(s)"
+            )
+        if d["crashes"]:
+            print(
+                f"  rank crashes : {d['crashes']} detected "
+                f"(dead: {d['dead_ranks']}), {d['recoveries']} "
+                f"recovery(ies), survivors: {d['live_ranks']}"
+            )
     obs = getattr(partitioner, "obs", None)
     if obs is not None and obs.enabled:
         from .obs import write_chrome_trace, write_jsonl, write_prometheus

@@ -54,6 +54,10 @@ class PartitionResult:
     integrity:
         What the silent-corruption defense did during the run (audits,
         corruptions detected, repairs by ladder rung).
+    dist:
+        Distributed-runtime telemetry (:class:`repro.dist.DistStats`
+        as a dict, plus membership), set only by distributed
+        partitioners; ``None`` for single-device runs.
     """
 
     partition: IndexArray
@@ -70,6 +74,7 @@ class PartitionResult:
     algorithm: str = ""
     resilience: ResilienceStats = field(default_factory=ResilienceStats)
     integrity: IntegrityStats = field(default_factory=IntegrityStats)
+    dist: Optional[dict] = None
 
     def __post_init__(self) -> None:
         self.partition = densify_partition(np.asarray(self.partition))

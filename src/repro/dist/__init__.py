@@ -1,0 +1,56 @@
+"""Simulated message-passing runtime for distributed partitioning.
+
+The subsystem EDiSt (:class:`~repro.baselines.edist.EDiStPartitioner`)
+rides on instead of direct Python calls: CRC32-framed, sequence-numbered
+messages (:mod:`~repro.dist.message`) through a fault-plan-driven
+channel (:mod:`~repro.dist.channel`), a round-synchronous communicator
+with bounded retransmission and heartbeat failure detection
+(:mod:`~repro.dist.comm`), and a deterministic rank-recovery protocol
+(:mod:`~repro.dist.recovery`).  See ``docs/distributed.md`` for the
+failure model and the two oracles (fault-free byte-identity, bounded
+quality loss under recovery).
+"""
+
+from .channel import CommFaultInjector, FaultyChannel
+from .comm import Communicator, CommStats, DistStats, RoundOutcome
+from .message import (
+    FRAME_OVERHEAD,
+    MOVE_RECORD_BYTES,
+    MSG_HEARTBEAT,
+    MSG_KINDS,
+    MSG_MOVES,
+    Frame,
+    pack_heartbeat,
+    pack_moves,
+    unpack_heartbeat,
+    unpack_moves,
+)
+from .recovery import (
+    MoveLogRing,
+    audit_recovery,
+    recovery_cost_s,
+    shard_vertices,
+)
+
+__all__ = [
+    "CommFaultInjector",
+    "FaultyChannel",
+    "Communicator",
+    "CommStats",
+    "DistStats",
+    "RoundOutcome",
+    "FRAME_OVERHEAD",
+    "MOVE_RECORD_BYTES",
+    "MSG_HEARTBEAT",
+    "MSG_KINDS",
+    "MSG_MOVES",
+    "Frame",
+    "pack_heartbeat",
+    "pack_moves",
+    "unpack_heartbeat",
+    "unpack_moves",
+    "MoveLogRing",
+    "audit_recovery",
+    "recovery_cost_s",
+    "shard_vertices",
+]

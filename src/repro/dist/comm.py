@@ -1,0 +1,375 @@
+"""The :class:`Communicator`: round-synchronous messaging over a faulty link.
+
+One communicator instance models the interconnect of one distributed
+run: per-``(src, dst)`` sequence numbers, CRC32 framing
+(:mod:`repro.dist.message`), a :class:`~repro.dist.channel.FaultyChannel`
+in the middle, and receiver-driven retransmission on top.
+
+Each :meth:`Communicator.exchange` is one EDiSt communication round:
+
+1. every live rank broadcasts a **heartbeat** announcing how many data
+   frames it will send this round (zero-payload ranks send no data
+   frame at all — the heartbeat is what lets receivers distinguish
+   "nothing to say" from "message lost");
+2. ranks with accepted moves broadcast one **moves** frame each;
+3. every receiver drains its inbox, reassembles frames by sequence
+   number, discards CRC failures and duplicates, and for every missing
+   expected frame runs a bounded retransmit loop
+   (:func:`repro.resilience.retry.with_retries`, seeded backoff charged
+   to the run's fault budget);
+4. a rank whose heartbeat cannot be recovered within the retry policy
+   is declared **dead**; the verdict is gossiped to the remaining
+   receivers, the round aborts, and the caller runs the recovery
+   protocol (:mod:`repro.dist.recovery`) before re-running the round
+   over the surviving membership.
+
+All waiting is simulated: retransmit backoff accumulates on
+:attr:`Communicator.sim_time_s` instead of sleeping, so fault-matrix
+tests run at full speed while still measuring recovery time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..errors import FrameCorruptError, FrameLossError, RetryExhaustedError
+from ..resilience.faults import FaultPlan
+from ..resilience.retry import FaultBudget, RetryPolicy, with_retries
+from .channel import CommFaultInjector, FaultyChannel
+from .message import (
+    MSG_HEARTBEAT,
+    MSG_MOVES,
+    Frame,
+    pack_heartbeat,
+    unpack_heartbeat,
+)
+
+
+@dataclass
+class CommStats:
+    """Counters of the simulated interconnect (fault-free data plane).
+
+    ``messages``/``bytes_sent`` count first transmissions of *data*
+    (moves) frames only — zero-payload ranks send no data frame, and
+    control traffic (heartbeats, retransmissions) is tallied separately
+    by :class:`DistStats` — so the fault-free numbers are comparable
+    across runs regardless of the fault plan.
+    """
+
+    rounds: int = 0
+    messages: int = 0
+    bytes_sent: int = 0
+
+    def record_alltoall(
+        self, num_ranks: int, payload_bytes_per_rank: Sequence[int]
+    ) -> None:
+        """One all-to-all: ranks with a non-empty payload send to every peer."""
+        self.rounds += 1
+        for payload in payload_bytes_per_rank:
+            if payload <= 0:
+                continue
+            self.messages += num_ranks - 1
+            self.bytes_sent += payload * (num_ranks - 1)
+
+
+@dataclass
+class DistStats(CommStats):
+    """Everything the distributed runtime did during one run."""
+
+    heartbeats: int = 0
+    retransmits: int = 0
+    retransmit_bytes: int = 0
+    dropped_frames: int = 0
+    corrupt_frames: int = 0
+    duplicate_frames: int = 0
+    reorder_events: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    recovery_s: float = 0.0
+    backoff_s: float = 0.0
+    empty_shards: int = 0
+    dead_ranks: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+            "heartbeats": self.heartbeats,
+            "retransmits": self.retransmits,
+            "retransmit_bytes": self.retransmit_bytes,
+            "dropped_frames": self.dropped_frames,
+            "corrupt_frames": self.corrupt_frames,
+            "duplicate_frames": self.duplicate_frames,
+            "reorder_events": self.reorder_events,
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "recovery_s": self.recovery_s,
+            "backoff_s": self.backoff_s,
+            "empty_shards": self.empty_shards,
+            "dead_ranks": list(self.dead_ranks),
+        }
+
+
+@dataclass
+class RoundOutcome:
+    """Result of one :meth:`Communicator.exchange` round.
+
+    ``delivered[dst][src]`` holds the moves payload each surviving rank
+    received (``b""`` for a rank that announced zero moves); ``None``
+    when the round aborted because ``failed_ranks`` were declared dead.
+    """
+
+    delivered: Optional[Dict[int, Dict[int, bytes]]]
+    failed_ranks: List[int]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed_ranks
+
+
+class Communicator:
+    """Round-synchronous all-to-all fabric for simulated ranks."""
+
+    def __init__(
+        self,
+        num_ranks: int,
+        *,
+        plan: Optional[FaultPlan] = None,
+        seed: int = 0,
+        retry_policy: Optional[RetryPolicy] = None,
+        budget: Optional[FaultBudget] = None,
+        stats: Optional[DistStats] = None,
+        obs=None,
+    ) -> None:
+        self.num_ranks = num_ranks
+        self.live: Set[int] = set(range(num_ranks))
+        self.injector = CommFaultInjector(plan, seed=seed)
+        self.channel = FaultyChannel(num_ranks, self.injector)
+        self.policy = retry_policy or RetryPolicy(
+            retry_on=(FrameLossError, FrameCorruptError)
+        )
+        self.budget = budget
+        self.stats = stats or DistStats()
+        self.obs = obs
+        self.seed = seed
+        self.sim_time_s = 0.0
+        self.round_index = 0
+        self._seq: Dict[Tuple[int, int], int] = {}
+        #: last frame per (src, dst, kind, round) for retransmission
+        self._sent: Dict[Tuple[int, int, str, int], Frame] = {}
+
+    # ------------------------------------------------------------------
+    def _count(self, name: str, amount: float = 1.0, help: str = "") -> None:
+        if self.obs is not None:
+            self.obs.count(name, amount, help=help)
+
+    def _sim_sleep(self, seconds: float) -> None:
+        """Retransmit backoff charges the simulated clock, not wall time."""
+        self.sim_time_s += seconds
+        self.stats.backoff_s += seconds
+
+    def _transmit(self, src: int, dst: int, kind: str, payload: bytes,
+                  round_index: int) -> None:
+        key = (src, dst)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        frame = Frame(src=src, dst=dst, round_index=round_index, seq=seq,
+                      kind=kind, payload=payload)
+        self._sent[(src, dst, kind, round_index)] = frame
+        dropped, _corrupted = self.channel.transmit(frame)
+        if dropped and not self.channel.is_silenced(src):
+            self.stats.dropped_frames += 1
+            self._count("dist_dropped_frames_total",
+                        help="frames lost on the simulated wire")
+
+    def _retransmit(self, src: int, dst: int, kind: str,
+                    round_index: int) -> None:
+        """Receiver-driven resend; reuses the original sequence number."""
+        frame = self._sent.get((src, dst, kind, round_index))
+        if frame is None or self.channel.is_silenced(src):
+            return  # a dead rank answers no retransmit request
+        self.stats.retransmits += 1
+        self.stats.retransmit_bytes += len(frame.payload)
+        self._count("dist_retransmits_total",
+                    help="frame retransmissions requested by receivers")
+        dropped, _ = self.channel.transmit(frame)
+        if dropped:
+            self.stats.dropped_frames += 1
+            self._count("dist_dropped_frames_total",
+                        help="frames lost on the simulated wire")
+
+    # ------------------------------------------------------------------
+    def _collect(self, dst: int, round_index: int,
+                 store: Dict[Tuple[int, str], Frame],
+                 seen: Set[Tuple[int, str, int]]) -> None:
+        """Drain and decode *dst*'s inbox into *store* (dedup by seq)."""
+        raw, reordered = self.channel.deliver(dst)
+        if reordered:
+            self.stats.reorder_events += 1
+            self._count("dist_reorder_events_total",
+                        help="inbox deliveries shuffled by the channel")
+        decoded: List[Frame] = []
+        for data in raw:
+            try:
+                frame = Frame.decode(data)
+            except FrameCorruptError:
+                self.stats.corrupt_frames += 1
+                self._count("dist_corrupt_frames_total",
+                            help="frames rejected by the CRC32 check")
+                continue
+            if frame.round_index != round_index:
+                continue  # stale frame from an aborted round
+            decoded.append(frame)
+        # reassemble by sequence number: reordering on the wire cannot
+        # reorder application
+        decoded.sort(key=lambda f: (f.src, f.seq))
+        for frame in decoded:
+            key = (frame.src, frame.kind, frame.seq)
+            if key in seen:
+                self.stats.duplicate_frames += 1
+                self._count("dist_duplicate_frames_total",
+                            help="duplicate frames discarded by receivers")
+                continue
+            seen.add(key)
+            store[(frame.src, frame.kind)] = frame
+
+    def _await_frame(self, dst: int, src: int, kind: str, round_index: int,
+                     store: Dict[Tuple[int, str], Frame],
+                     seen: Set[Tuple[int, str, int]]) -> Frame:
+        """Receive with bounded retransmission; may raise RetryExhausted."""
+        if (src, kind) in store:
+            return store[(src, kind)]
+
+        def attempt(n: int) -> Frame:
+            if n > 0:
+                self._retransmit(src, dst, kind, round_index)
+            self._collect(dst, round_index, store, seen)
+            frame = store.get((src, kind))
+            if frame is None:
+                raise FrameLossError(
+                    f"round {round_index}: rank {dst} is missing the "
+                    f"{kind} frame from rank {src}"
+                )
+            return frame
+
+        return with_retries(
+            attempt, self.policy,
+            seed=self.seed,
+            label=f"dist_recv:{round_index}:{src}->{dst}:{kind}",
+            budget=self.budget,
+            sleep=self._sim_sleep,
+        )
+
+    def _budget_blown(self) -> bool:
+        return (self.budget is not None
+                and self.budget.consumed > self.budget.limit)
+
+    # ------------------------------------------------------------------
+    def exchange(self, payloads: Dict[int, bytes]) -> RoundOutcome:
+        """One round-synchronous all-to-all over the live membership.
+
+        *payloads* maps each live rank to its (possibly empty) moves
+        payload.  Returns the delivered payloads, or an aborted outcome
+        naming the ranks the failure detector declared dead — the caller
+        recovers and re-runs the round.
+        """
+        round_index = self.round_index
+        self.round_index += 1
+        members = sorted(self.live)
+
+        # planned crashes fire at the round barrier: the victim dies
+        # *before* sending, and nobody is told — survivors must detect.
+        for victim in self.injector.on_round(self.live):
+            self.channel.silence(victim)
+
+        senders = [r for r in members if not self.channel.is_silenced(r)]
+        msgs0, bytes0 = self.stats.messages, self.stats.bytes_sent
+        self.stats.record_alltoall(
+            len(members),
+            [len(payloads.get(r, b"")) if r in senders else 0
+             for r in members],
+        )
+        self._count("dist_rounds_total", help="communication rounds attempted")
+        self._count("dist_messages_total", self.stats.messages - msgs0,
+                    help="data frames sent (first transmissions)")
+        self._count("dist_bytes_total", self.stats.bytes_sent - bytes0,
+                    help="data payload bytes on the wire")
+
+        if len(members) == 1:
+            return RoundOutcome(delivered={members[0]: {}}, failed_ranks=[])
+
+        # send phase: heartbeats announce intent, then data frames
+        for src in senders:
+            payload = payloads.get(src, b"")
+            heartbeat = pack_heartbeat(1 if payload else 0, len(payload))
+            for dst in members:
+                if dst == src:
+                    continue
+                self._transmit(src, dst, MSG_HEARTBEAT, heartbeat, round_index)
+                self.stats.heartbeats += 1
+        self._count("dist_heartbeats_total",
+                    (len(senders)) * (len(members) - 1),
+                    help="heartbeat frames sent")
+        for src in senders:
+            payload = payloads.get(src, b"")
+            if not payload:
+                continue
+            for dst in members:
+                if dst != src:
+                    self._transmit(src, dst, MSG_MOVES, payload, round_index)
+
+        # receive phase, rank order: the first receiver to give up on a
+        # peer gossips the verdict so later receivers skip it
+        suspected: List[int] = []
+        delivered: Dict[int, Dict[int, bytes]] = {}
+        for dst in members:
+            if self.channel.is_silenced(dst):
+                continue
+            store: Dict[Tuple[int, str], Frame] = {}
+            seen: Set[Tuple[int, str, int]] = set()
+            self._collect(dst, round_index, store, seen)
+            from_src: Dict[int, bytes] = {}
+            for src in members:
+                if src == dst or src in suspected:
+                    continue
+                try:
+                    heartbeat = self._await_frame(
+                        dst, src, MSG_HEARTBEAT, round_index, store, seen
+                    )
+                except RetryExhaustedError:
+                    if self._budget_blown():
+                        raise
+                    suspected.append(src)
+                    continue
+                num_frames, _announced = unpack_heartbeat(heartbeat.payload)
+                if num_frames == 0:
+                    from_src[src] = b""
+                    continue
+                try:
+                    moves = self._await_frame(
+                        dst, src, MSG_MOVES, round_index, store, seen
+                    )
+                except RetryExhaustedError:
+                    if self._budget_blown():
+                        raise
+                    suspected.append(src)
+                    continue
+                from_src[src] = moves.payload
+            delivered[dst] = from_src
+
+        if suspected:
+            failed = sorted(set(suspected))
+            for rank in failed:
+                self.live.discard(rank)
+                self.channel.silence(rank)
+                self.stats.crashes += 1
+                self.stats.dead_ranks.append(rank)
+                self._count("dist_rank_crashes_total",
+                            help="ranks declared dead by the failure detector")
+                if self.obs is not None:
+                    self.obs.instant("rank_crash", "dist", rank=rank,
+                                     round=round_index)
+            return RoundOutcome(delivered=None, failed_ranks=failed)
+        return RoundOutcome(delivered=delivered, failed_ranks=[])

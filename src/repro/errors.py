@@ -125,6 +125,37 @@ class RetryExhaustedError(ReproError):
         self.attempts = attempts
 
 
+class CommError(ReproError):
+    """A failure of the simulated message-passing fabric.
+
+    Retry sites in :mod:`repro.dist` treat these as transient: a lost or
+    corrupt frame triggers a bounded retransmit before escalating to the
+    failure detector.
+    """
+
+
+class FrameCorruptError(CommError):
+    """A received frame failed its CRC32 check (corrupted on the wire)."""
+
+
+class FrameLossError(CommError):
+    """An expected frame never arrived (dropped on the wire)."""
+
+
+class RankDeadError(CommError):
+    """A rank was declared dead by the failure detector.
+
+    Attributes
+    ----------
+    rank:
+        The rank that stopped responding.
+    """
+
+    def __init__(self, message: str, rank: int = -1) -> None:
+        super().__init__(message)
+        self.rank = rank
+
+
 class CheckpointError(ReproError):
     """A checkpoint is missing, truncated, or has an unsupported format."""
 

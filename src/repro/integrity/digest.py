@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import zlib
 
 import numpy as np
 
@@ -43,6 +44,17 @@ def graph_sha256(graph) -> str:
     digest.update(_canonical_bytes(adj.nbr, "<i8"))
     digest.update(_canonical_bytes(adj.wgt, "<i8"))
     return digest.hexdigest()
+
+
+def crc32_frame(data: bytes) -> int:
+    """CRC32 checksum of one message frame (header + payload).
+
+    The same integrity primitive the checksummed device buffers use,
+    reused by :mod:`repro.dist.message` so a frame corrupted on the
+    simulated wire is detected at decode time rather than silently
+    applied to a blockmodel replica.
+    """
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 def config_sha256(config) -> str:

@@ -108,6 +108,8 @@ def build_run_report(
         "resilience": result.resilience.to_dict(),
         "integrity": result.integrity.to_dict(),
     }
+    if result.dist is not None:
+        report["dist"] = dict(result.dist)
 
     if obs is not None and obs.enabled:
         proposals = obs.metrics.get("mcmc_proposals_total")
@@ -310,6 +312,44 @@ def run_report_markdown(report: dict) -> str:
             lines.append(f"- repaired via {rung}: {n}")
         for violation in integ.get("violations", []):
             lines.append(f"- violation: {violation}")
+
+    dist = report.get("dist")
+    if dist:
+        lines += [
+            "",
+            "## Distributed runtime",
+            "",
+            f"- ranks: {dist.get('num_ranks', 0)} configured, "
+            f"{len(dist.get('live_ranks', []))} alive at run end",
+            f"- all-to-all: {dist.get('rounds', 0)} rounds, "
+            f"{dist.get('messages', 0)} messages, "
+            f"{dist.get('bytes_sent', 0)} bytes "
+            f"(+{dist.get('heartbeats', 0)} heartbeats)",
+        ]
+        if dist.get("retransmits") or dist.get("dropped_frames") or (
+            dist.get("corrupt_frames") or dist.get("duplicate_frames")
+            or dist.get("reorder_events")
+        ):
+            lines.append(
+                f"- faults absorbed: {dist.get('dropped_frames', 0)} "
+                f"dropped, {dist.get('corrupt_frames', 0)} corrupt, "
+                f"{dist.get('duplicate_frames', 0)} duplicated, "
+                f"{dist.get('reorder_events', 0)} reordered -> "
+                f"{dist.get('retransmits', 0)} retransmits "
+                f"({dist.get('backoff_s', 0.0):.4f}s simulated backoff)"
+            )
+        if dist.get("crashes"):
+            lines.append(
+                f"- rank crashes: {dist.get('crashes', 0)} detected "
+                f"(dead: {dist.get('dead_ranks', [])}), "
+                f"{dist.get('recoveries', 0)} recoveries in "
+                f"{dist.get('recovery_s', 0.0):.4f}s simulated"
+            )
+        if dist.get("empty_shards"):
+            lines.append(
+                f"- empty shards: {dist.get('empty_shards', 0)} "
+                f"(more ranks than vertices)"
+            )
 
     env = report.get("environment")
     if env:

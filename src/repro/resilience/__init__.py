@@ -5,8 +5,10 @@ and the mid-run checkpoint format this subsystem relies on.
 """
 
 from .faults import (
+    COMM_FAULT_KINDS,
     CORRUPTION_KINDS,
     FAULT_KINDS,
+    MESSAGE_FAULT_KINDS,
     FaultInjector,
     FaultLogEntry,
     FaultPlan,
@@ -24,8 +26,10 @@ from .retry import (
 )
 
 __all__ = [
+    "COMM_FAULT_KINDS",
     "CORRUPTION_KINDS",
     "FAULT_KINDS",
+    "MESSAGE_FAULT_KINDS",
     "FaultInjector",
     "FaultLogEntry",
     "FaultPlan",

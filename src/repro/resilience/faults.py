@@ -32,6 +32,26 @@ Fault classes
 ``value_corrupt``
     Does not raise; silently overwrites one element of a corruptible
     structure with ``value``.
+
+Communication fault classes (consumed by :mod:`repro.dist`, not by the
+device injector; see ``docs/distributed.md``)
+--------------------------------------------
+``msg_drop``
+    A framed message vanishes on the wire; the receiver detects the loss
+    and requests a bounded retransmit.
+``msg_duplicate``
+    A framed message is delivered twice; the receiver dedupes by
+    sequence number.
+``msg_reorder``
+    A receiver's inbox for one round is delivered in a shuffled order
+    (seeded); frames are reassembled by sequence number.
+``msg_corrupt``
+    One bit of a frame is flipped in flight; the CRC32 check rejects the
+    frame and triggers a retransmit.
+``rank_crash``
+    The rank named by ``rank`` goes permanently silent at round ``at``;
+    survivors detect the missing heartbeat and run the recovery
+    protocol.
 """
 
 from __future__ import annotations
@@ -62,10 +82,23 @@ FAULT_KINDS = (
     "stream",
     "bitflip",
     "value_corrupt",
+    "msg_drop",
+    "msg_duplicate",
+    "msg_reorder",
+    "msg_corrupt",
+    "rank_crash",
 )
 
 #: Fault kinds that corrupt state silently instead of raising.
 CORRUPTION_KINDS = ("bitflip", "value_corrupt")
+
+#: Fault kinds that target individual frames of the simulated
+#: interconnect (``at`` counts matching send/delivery operations).
+MESSAGE_FAULT_KINDS = ("msg_drop", "msg_duplicate", "msg_reorder", "msg_corrupt")
+
+#: All fault kinds consumed by the distributed runtime instead of the
+#: device injector.
+COMM_FAULT_KINDS = MESSAGE_FAULT_KINDS + ("rank_crash",)
 
 
 class InjectedMemoryFault(FaultInjected, DeviceMemoryError):
@@ -118,6 +151,13 @@ class FaultSpec:
     value:
         For ``value_corrupt``: the replacement value written into the
         element (cast to the array's dtype).
+    rank:
+        For communication kinds: the rank the fault targets.  For the
+        message kinds this filters on the *sending* rank of the frame
+        (``None`` matches every sender; for ``msg_reorder`` it filters
+        on the receiving rank).  For ``rank_crash`` it names the rank
+        that dies and is mandatory.  For ``rank_crash``, ``at`` indexes
+        communication *rounds*, not individual frames.
     """
 
     kind: str
@@ -130,6 +170,7 @@ class FaultSpec:
     index: int = 0
     bit: int = 0
     value: float = -1.0
+    rank: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -147,6 +188,10 @@ class FaultSpec:
             raise ReproError(f"corruption index must be >= 0, got {self.index}")
         if not 0 <= self.bit < 64:
             raise ReproError(f"bit must be in [0, 64), got {self.bit}")
+        if self.rank is not None and self.rank < 0:
+            raise ReproError(f"rank must be >= 0, got {self.rank}")
+        if self.kind == "rank_crash" and self.rank is None:
+            raise ReproError("rank_crash faults must name the rank that dies")
 
     def to_dict(self) -> dict:
         return {
@@ -160,6 +205,7 @@ class FaultSpec:
             "index": self.index,
             "bit": self.bit,
             "value": self.value,
+            "rank": self.rank,
         }
 
     @classmethod
@@ -176,6 +222,10 @@ class FaultSpec:
                 index=int(payload.get("index", 0)),
                 bit=int(payload.get("bit", 0)),
                 value=float(payload.get("value", -1.0)),
+                rank=(
+                    None if payload.get("rank") is None
+                    else int(payload["rank"])
+                ),
             )
         except KeyError as exc:
             raise ReproError(f"fault spec missing key: {exc}") from exc

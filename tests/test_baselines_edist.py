@@ -30,8 +30,10 @@ class TestCommStats:
         comm = CommStats()
         comm.record_alltoall(4, [100, 0, 50, 25])
         assert comm.rounds == 1
-        assert comm.messages == 4 * 3
-        assert comm.bytes_sent == (100 + 0 + 50 + 25) * 3
+        # the zero-payload rank sends no data frames at all (its
+        # heartbeat is control traffic, counted separately)
+        assert comm.messages == 3 * 3
+        assert comm.bytes_sent == (100 + 50 + 25) * 3
 
     def test_single_rank_sends_nothing(self):
         comm = CommStats()
@@ -81,6 +83,60 @@ class TestEDiSt:
         combined = np.concatenate(shards)
         np.testing.assert_array_equal(np.sort(combined), np.arange(10))
 
+    @pytest.mark.parametrize("num_ranks", [1, 10, 11])
+    def test_shard_edge_cases(self, quick_config, num_ranks):
+        """ranks == 1, ranks == n, and ranks == n + 1 (one empty)."""
+        p = EDiStPartitioner(quick_config, num_ranks=num_ranks)
+        shards = p._shards(10)
+        assert len(shards) == num_ranks
+        combined = np.concatenate(shards)
+        np.testing.assert_array_equal(np.sort(combined), np.arange(10))
+        empties = sum(1 for s in shards if len(s) == 0)
+        assert empties == max(0, num_ranks - 10)
+
+    def test_more_ranks_than_vertices_runs_and_counts_empties(
+        self, quick_config
+    ):
+        graph, truth = load_dataset("low_low", 20, seed=4)
+        p = EDiStPartitioner(quick_config, num_ranks=24)
+        result = p.partition(graph)
+        assert p.comm.empty_shards >= 4
+        assert result.dist["empty_shards"] == p.comm.empty_shards
+        assert len(result.partition) == 20
+
     def test_bad_rank_count(self, quick_config):
         with pytest.raises(PartitionError):
             EDiStPartitioner(quick_config, num_ranks=0)
+
+
+class TestByteIdentityOracle:
+    """The refactor onto :mod:`repro.dist` must not change the answer:
+    fault-free runs are pinned to the partitions, MDL, round counts and
+    wire volume the pre-refactor direct-exchange EDiSt produced."""
+
+    GOLDEN = {
+        # num_ranks -> (partition sha256, rounds, bytes_sent)
+        4: ("bb379c25dd051ac05a4bddd41501fd0bb9211fa4347ba48a42bec375c39e74da",
+            38, 36432),
+        2: ("cb69c33b1245e870fa639a669ed3f70d9f6a8b58368a53e16727eea768b2db9f",
+            34, 9120),
+        1: ("e3c0d8c24b71e4be142e35e29d23b4c6224fb5c91f29965a7aaf8719b4a9647b",
+            36, 0),
+    }
+
+    @pytest.mark.parametrize("num_ranks", sorted(GOLDEN))
+    def test_faultfree_run_matches_pre_refactor_golden(
+        self, bench_graph, quick_config, num_ranks
+    ):
+        import hashlib
+
+        graph, _ = bench_graph
+        p = EDiStPartitioner(quick_config, num_ranks=num_ranks)
+        result = p.partition(graph)
+        sha = hashlib.sha256(
+            np.asarray(result.partition, dtype=np.int64).tobytes()
+        ).hexdigest()
+        golden_sha, golden_rounds, golden_bytes = self.GOLDEN[num_ranks]
+        assert sha == golden_sha
+        assert p.comm.rounds == golden_rounds
+        assert p.comm.bytes_sent == golden_bytes

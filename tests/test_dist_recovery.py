@@ -1,0 +1,200 @@
+"""Tests for deterministic rank recovery (:mod:`repro.dist.recovery`).
+
+Sharding rule, the replicated move-log ring, the recovery audit, and the
+end-to-end oracle: kill a rank mid-run and the survivors must finish
+with a partition as good as the fault-free one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.edist import EDiStPartitioner
+from repro.config import SBPConfig
+from repro.dist import (
+    MoveLogRing,
+    audit_recovery,
+    recovery_cost_s,
+    shard_vertices,
+)
+from repro.errors import PartitionError
+from repro.graph.datasets import load_dataset
+from repro.metrics import nmi
+from repro.resilience.faults import FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.dist
+
+
+@pytest.fixture(scope="module")
+def bench_graph():
+    return load_dataset("low_low", 120, seed=2)
+
+
+@pytest.fixture
+def quick_config():
+    return SBPConfig(
+        max_num_nodal_itr=10,
+        delta_entropy_threshold1=5e-3,
+        delta_entropy_threshold2=1e-3,
+        seed=3,
+    )
+
+
+class TestSharding:
+    def test_covers_all_vertices_without_overlap(self):
+        shards = shard_vertices(103, 7)
+        combined = np.concatenate(shards)
+        np.testing.assert_array_equal(np.sort(combined), np.arange(103))
+
+    def test_more_shards_than_vertices_yields_explicit_empties(self):
+        shards = shard_vertices(3, 5)
+        assert len(shards) == 5
+        assert sum(len(s) for s in shards) == 3
+        assert sum(1 for s in shards if len(s) == 0) == 2
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(PartitionError):
+            shard_vertices(10, 0)
+
+    def test_resharding_is_deterministic(self):
+        # the property recovery relies on: every survivor computes the
+        # same new layout with no coordination
+        a = shard_vertices(1000, 7)
+        b = shard_vertices(1000, 7)
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left, right)
+
+
+class TestMoveLogRing:
+    def test_replica_matches_folded_moves(self):
+        base = np.zeros(10, dtype=np.int64)
+        ring = MoveLogRing(base, capacity=4)
+        live = base.copy()
+        for rnd in range(10):
+            moves = [(rnd % 10, int(live[rnd % 10]), rnd % 3)]
+            for v, _r, s in moves:
+                live[v] = s
+            ring.append(rnd, moves)
+        np.testing.assert_array_equal(ring.replica_bmap(), live)
+        assert len(ring) == 4  # bounded: older rounds folded into base
+        assert ring.rounds_logged == 10
+
+    def test_base_snapshot_is_a_copy(self):
+        base = np.zeros(4, dtype=np.int64)
+        ring = MoveLogRing(base)
+        base[0] = 9
+        assert ring.replica_bmap()[0] == 0
+
+    def test_replayable_moves_counts_ring_only(self):
+        ring = MoveLogRing(np.zeros(8, dtype=np.int64), capacity=2)
+        ring.append(0, [(0, 0, 1), (1, 0, 1)])
+        ring.append(1, [(2, 0, 1)])
+        ring.append(2, [(3, 0, 1)])  # folds round 0 out
+        assert ring.replayable_moves() == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(PartitionError):
+            MoveLogRing(np.zeros(4, dtype=np.int64), capacity=0)
+
+
+class TestRecoveryAudit:
+    def test_consistent_replica_passes(self):
+        live = np.array([0, 1, 1, 0], dtype=np.int64)
+        ring = MoveLogRing(np.array([0, 0, 1, 0], dtype=np.int64))
+        ring.append(0, [(1, 0, 1)])
+        audit_recovery(ring, live)
+
+    def test_diverged_replica_fails(self):
+        ring = MoveLogRing(np.zeros(4, dtype=np.int64))
+        with pytest.raises(PartitionError, match="recovery audit"):
+            audit_recovery(ring, np.array([0, 1, 0, 0], dtype=np.int64))
+
+    def test_cost_grows_with_replay(self):
+        assert recovery_cost_s(1000) > recovery_cost_s(0) > 0
+
+
+class TestCrashRecoveryOracle:
+    def test_kill_one_rank_mid_round(self, bench_graph, quick_config):
+        """The acceptance oracle: a run that loses a rank mid-round must
+        detect the crash, recover, complete, and land within tolerance
+        of the fault-free run."""
+        graph, truth = bench_graph
+        reference = EDiStPartitioner(quick_config, num_ranks=4)
+        ref = reference.partition(graph)
+
+        plan = FaultPlan([FaultSpec(kind="rank_crash", at=5, rank=2)])
+        survivor = EDiStPartitioner(quick_config, num_ranks=4,
+                                    fault_plan=plan)
+        result = survivor.partition(graph)
+
+        assert survivor.comm.crashes == 1
+        assert survivor.comm.recoveries == 1
+        assert survivor.comm.dead_ranks == [2]
+        assert result.dist["live_ranks"] == [0, 1, 3]
+        assert survivor.comm.recovery_s > 0
+        # quality within tolerance of the fault-free run
+        assert nmi(result.partition, truth) >= nmi(ref.partition, truth) - 0.05
+        assert result.mdl <= ref.mdl * 1.05
+
+    def test_crash_rounds_continue_counting(self, bench_graph, quick_config):
+        graph, _ = bench_graph
+        plan = FaultPlan([FaultSpec(kind="rank_crash", at=3, rank=1)])
+        p = EDiStPartitioner(quick_config, num_ranks=3, fault_plan=plan)
+        result = p.partition(graph)
+        # the aborted round is counted (it happened on the wire) and the
+        # run still converges
+        assert p.comm.rounds > 3
+        assert result.num_blocks >= 1
+
+    def test_crash_of_every_extra_rank_degenerates_to_serial(
+        self, bench_graph, quick_config
+    ):
+        graph, truth = bench_graph
+        plan = FaultPlan([
+            FaultSpec(kind="rank_crash", at=2, rank=1),
+            FaultSpec(kind="rank_crash", at=4, rank=2),
+        ])
+        p = EDiStPartitioner(quick_config, num_ranks=3, fault_plan=plan)
+        result = p.partition(graph)
+        assert sorted(p._runtime.live) == [0]
+        assert p.comm.crashes == 2
+        assert nmi(result.partition, truth) > 0.6
+
+    def test_result_dist_telemetry(self, bench_graph, quick_config):
+        graph, _ = bench_graph
+        plan = FaultPlan([FaultSpec(kind="rank_crash", at=4, rank=0)])
+        p = EDiStPartitioner(quick_config, num_ranks=4, fault_plan=plan)
+        result = p.partition(graph)
+        dist = result.dist
+        assert dist["num_ranks"] == 4
+        assert dist["crashes"] == 1
+        assert dist["recoveries"] == 1
+        assert dist["dead_ranks"] == [0]
+        assert dist["sim_time_s"] == pytest.approx(result.sim_time_s)
+
+
+class TestMessageFaultOracle:
+    def test_message_faults_do_not_change_the_answer(
+        self, bench_graph, quick_config
+    ):
+        """Drops, corruption, duplication and reordering live entirely
+        below the CRC/sequence machinery: the partition must be
+        byte-identical to the fault-free run."""
+        graph, _ = bench_graph
+        ref = EDiStPartitioner(quick_config, num_ranks=4).partition(graph)
+
+        plan = FaultPlan([
+            FaultSpec(kind="msg_drop", at=3, count=2),
+            FaultSpec(kind="msg_corrupt", at=10, count=2, index=17, bit=3),
+            FaultSpec(kind="msg_duplicate", at=5, count=3),
+            FaultSpec(kind="msg_reorder", at=2, count=4),
+        ])
+        p = EDiStPartitioner(quick_config, num_ranks=4, fault_plan=plan)
+        result = p.partition(graph)
+
+        assert p.comm.dropped_frames == 2
+        assert p.comm.corrupt_frames == 2
+        assert p.comm.duplicate_frames == 3
+        assert p.comm.reorder_events == 4
+        assert p.comm.retransmits >= 4
+        np.testing.assert_array_equal(result.partition, ref.partition)
+        assert result.mdl == ref.mdl

@@ -1,0 +1,296 @@
+"""Tests for the simulated message-passing runtime (:mod:`repro.dist`).
+
+Framing, the fault-plan-driven channel, and the round-synchronous
+communicator: every ``msg_*`` fault kind must be absorbed by the
+CRC/sequence/retransmit machinery, deterministically under a fixed seed,
+with the absorption charged to the run's fault budget.
+"""
+
+import pytest
+
+from repro.dist import (
+    FRAME_OVERHEAD,
+    MSG_HEARTBEAT,
+    MSG_MOVES,
+    CommFaultInjector,
+    Communicator,
+    CommStats,
+    DistStats,
+    FaultyChannel,
+    Frame,
+    pack_heartbeat,
+    pack_moves,
+    unpack_heartbeat,
+    unpack_moves,
+)
+from repro.errors import (
+    CommError,
+    FrameCorruptError,
+    RetryExhaustedError,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.retry import FaultBudget, RetryPolicy
+
+pytestmark = pytest.mark.dist
+
+
+def make_comm(num_ranks=3, plan=None, seed=7, budget=None, stats=None):
+    return Communicator(
+        num_ranks,
+        plan=plan,
+        seed=seed,
+        retry_policy=RetryPolicy(
+            max_attempts=3, base_delay_s=1e-4, jitter=0.0,
+            retry_on=(CommError,),
+        ),
+        budget=budget,
+        stats=stats or DistStats(),
+    )
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        frame = Frame(src=1, dst=2, round_index=9, seq=41, kind=MSG_MOVES,
+                      payload=pack_moves([(3, 0, 1), (7, 1, 0)]))
+        decoded = Frame.decode(frame.encode())
+        assert decoded == frame
+        assert unpack_moves(decoded.payload) == [(3, 0, 1), (7, 1, 0)]
+
+    def test_encoded_size(self):
+        frame = Frame(src=0, dst=1, round_index=0, seq=0,
+                      kind=MSG_HEARTBEAT, payload=pack_heartbeat(1, 5))
+        assert len(frame.encode()) == FRAME_OVERHEAD + len(frame.payload)
+
+    def test_bitflip_detected(self):
+        data = bytearray(
+            Frame(src=0, dst=1, round_index=0, seq=0, kind=MSG_MOVES,
+                  payload=pack_moves([(1, 2, 3)])).encode()
+        )
+        data[len(data) // 2] ^= 0x10
+        with pytest.raises(FrameCorruptError):
+            Frame.decode(bytes(data))
+
+    def test_truncation_detected(self):
+        frame = Frame(src=0, dst=1, round_index=0, seq=0,
+                      kind=MSG_HEARTBEAT, payload=pack_heartbeat(0, 0))
+        with pytest.raises(FrameCorruptError):
+            Frame.decode(frame.encode()[:5])
+
+    def test_heartbeat_roundtrip(self):
+        assert unpack_heartbeat(pack_heartbeat(1, 250)) == (1, 250)
+
+    def test_moves_payload_must_align(self):
+        with pytest.raises(FrameCorruptError):
+            unpack_moves(b"\x00" * 25)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(CommError):
+            Frame(src=0, dst=1, round_index=0, seq=0, kind="gossip",
+                  payload=b"").encode()
+
+
+class TestChannel:
+    def test_plain_delivery(self):
+        channel = FaultyChannel(2, CommFaultInjector())
+        frame = Frame(src=0, dst=1, round_index=0, seq=0,
+                      kind=MSG_HEARTBEAT, payload=pack_heartbeat(0, 0))
+        dropped, corrupted = channel.transmit(frame)
+        assert (dropped, corrupted) == (False, False)
+        frames, reordered = channel.deliver(1)
+        assert not reordered
+        assert [Frame.decode(f) for f in frames] == [frame]
+
+    def test_drop_swallows_frame(self):
+        plan = FaultPlan([FaultSpec(kind="msg_drop", at=0)])
+        channel = FaultyChannel(2, CommFaultInjector(plan))
+        frame = Frame(src=0, dst=1, round_index=0, seq=0,
+                      kind=MSG_HEARTBEAT, payload=pack_heartbeat(0, 0))
+        dropped, _ = channel.transmit(frame)
+        assert dropped
+        assert channel.deliver(1)[0] == []
+
+    def test_duplicate_delivers_twice(self):
+        plan = FaultPlan([FaultSpec(kind="msg_duplicate", at=0)])
+        channel = FaultyChannel(2, CommFaultInjector(plan))
+        channel.transmit(Frame(src=0, dst=1, round_index=0, seq=0,
+                               kind=MSG_HEARTBEAT,
+                               payload=pack_heartbeat(0, 0)))
+        assert len(channel.deliver(1)[0]) == 2
+
+    def test_corrupt_frame_fails_crc(self):
+        plan = FaultPlan([FaultSpec(kind="msg_corrupt", at=0, index=3, bit=2)])
+        channel = FaultyChannel(2, CommFaultInjector(plan))
+        channel.transmit(Frame(src=0, dst=1, round_index=0, seq=0,
+                               kind=MSG_HEARTBEAT,
+                               payload=pack_heartbeat(0, 0)))
+        (data,), _ = channel.deliver(1)
+        with pytest.raises(FrameCorruptError):
+            Frame.decode(data)
+
+    def test_rank_filter_spares_other_senders(self):
+        plan = FaultPlan([FaultSpec(kind="msg_drop", at=0, count=99, rank=0)])
+        channel = FaultyChannel(3, CommFaultInjector(plan))
+        for src in (0, 1):
+            channel.transmit(Frame(src=src, dst=2, round_index=0, seq=0,
+                                   kind=MSG_HEARTBEAT,
+                                   payload=pack_heartbeat(0, 0)))
+        frames, _ = channel.deliver(2)
+        assert [Frame.decode(f).src for f in frames] == [1]
+
+    def test_silenced_rank_sends_and_receives_nothing(self):
+        channel = FaultyChannel(2, CommFaultInjector())
+        channel.transmit(Frame(src=0, dst=1, round_index=0, seq=0,
+                               kind=MSG_HEARTBEAT,
+                               payload=pack_heartbeat(0, 0)))
+        channel.silence(1)
+        assert channel.deliver(1)[0] == []
+        dropped, _ = channel.transmit(
+            Frame(src=1, dst=0, round_index=0, seq=0, kind=MSG_HEARTBEAT,
+                  payload=pack_heartbeat(0, 0))
+        )
+        assert dropped
+
+    def test_crash_hook_names_victim_once(self):
+        plan = FaultPlan([FaultSpec(kind="rank_crash", at=1, rank=2)])
+        injector = CommFaultInjector(plan)
+        assert injector.on_round({0, 1, 2}) == []
+        assert injector.on_round({0, 1, 2}) == [2]
+        assert injector.on_round({0, 1}) == []  # already dead
+
+
+class TestCommunicator:
+    def test_faultfree_exchange_delivers_everything(self):
+        comm = make_comm(3)
+        payloads = {0: pack_moves([(1, 0, 1)]), 1: b"",
+                    2: pack_moves([(5, 1, 0), (6, 0, 1)])}
+        outcome = comm.exchange(payloads)
+        assert outcome.ok
+        for dst in range(3):
+            expected = {src: payloads[src] for src in range(3) if src != dst}
+            assert outcome.delivered[dst] == expected
+
+    def test_zero_payload_counts_no_message(self):
+        comm = make_comm(3)
+        comm.exchange({0: pack_moves([(1, 0, 1)]), 1: b"", 2: b""})
+        assert comm.stats.messages == 2  # only rank 0 sent data
+        assert comm.stats.bytes_sent == 24 * 2
+        # but every live rank heartbeats every peer
+        assert comm.stats.heartbeats == 3 * 2
+
+    def test_single_rank_short_circuits(self):
+        comm = make_comm(1)
+        outcome = comm.exchange({0: pack_moves([(1, 0, 1)])})
+        assert outcome.ok
+        assert comm.stats.messages == 0
+        assert comm.stats.heartbeats == 0
+
+    def test_drop_is_retransmitted(self):
+        plan = FaultPlan([FaultSpec(kind="msg_drop", at=0, phase="moves")])
+        budget = FaultBudget(8)
+        comm = make_comm(3, plan=plan, budget=budget)
+        payloads = {r: pack_moves([(r, 0, 1)]) for r in range(3)}
+        outcome = comm.exchange(payloads)
+        assert outcome.ok
+        assert comm.stats.dropped_frames == 1
+        assert comm.stats.retransmits >= 1
+        assert budget.consumed >= 1  # absorption charged to the budget
+        assert comm.sim_time_s > 0  # backoff on the simulated clock
+
+    def test_corrupt_is_retransmitted(self):
+        plan = FaultPlan([FaultSpec(kind="msg_corrupt", at=0, phase="moves",
+                                    index=9, bit=4)])
+        comm = make_comm(3, plan=plan, budget=FaultBudget(8))
+        outcome = comm.exchange({r: pack_moves([(r, 0, 1)])
+                                 for r in range(3)})
+        assert outcome.ok
+        assert comm.stats.corrupt_frames == 1
+        assert comm.stats.retransmits >= 1
+
+    def test_duplicate_is_deduped(self):
+        plan = FaultPlan([FaultSpec(kind="msg_duplicate", at=0, count=3)])
+        comm = make_comm(3, plan=plan)
+        outcome = comm.exchange({r: pack_moves([(r, 0, 1)])
+                                 for r in range(3)})
+        assert outcome.ok
+        assert comm.stats.duplicate_frames == 3
+        assert comm.stats.retransmits == 0
+
+    def test_reorder_is_reassembled(self):
+        plan = FaultPlan([FaultSpec(kind="msg_reorder", at=0, count=3)])
+        comm = make_comm(4, plan=plan)
+        payloads = {r: pack_moves([(r, 0, 1)]) for r in range(4)}
+        outcome = comm.exchange(payloads)
+        assert outcome.ok
+        assert comm.stats.reorder_events >= 1
+        for dst, from_src in outcome.delivered.items():
+            for src, payload in from_src.items():
+                assert payload == payloads[src]
+
+    def test_persistent_loss_declares_rank_dead(self):
+        plan = FaultPlan([FaultSpec(kind="msg_drop", at=0, count=1000,
+                                    rank=1)])
+        comm = make_comm(3, plan=plan, budget=FaultBudget(64))
+        outcome = comm.exchange({r: pack_moves([(r, 0, 1)])
+                                 for r in range(3)})
+        assert not outcome.ok
+        assert outcome.failed_ranks == [1]
+        assert outcome.delivered is None
+        assert comm.live == {0, 2}
+        assert comm.stats.crashes == 1
+        assert comm.stats.dead_ranks == [1]
+
+    def test_planned_crash_detected_at_barrier(self):
+        plan = FaultPlan([FaultSpec(kind="rank_crash", at=2, rank=0)])
+        comm = make_comm(3, plan=plan, budget=FaultBudget(64))
+        payloads = {r: pack_moves([(r, 0, 1)]) for r in range(3)}
+        assert comm.exchange(payloads).ok
+        assert comm.exchange(payloads).ok
+        outcome = comm.exchange(payloads)  # round index 2: rank 0 dies
+        assert outcome.failed_ranks == [0]
+        # survivors carry on without the dead rank
+        survivors = {r: payloads[r] for r in comm.live}
+        after = comm.exchange(survivors)
+        assert after.ok
+        assert sorted(after.delivered) == [1, 2]
+
+    def test_budget_exhaustion_reraises_instead_of_suspecting(self):
+        plan = FaultPlan([FaultSpec(kind="msg_drop", at=0, count=1000)])
+        comm = make_comm(3, plan=plan, budget=FaultBudget(0))
+        with pytest.raises(RetryExhaustedError):
+            comm.exchange({r: pack_moves([(r, 0, 1)]) for r in range(3)})
+
+    def test_deterministic_under_fixed_seed(self):
+        plan = FaultPlan([
+            FaultSpec(kind="msg_drop", at=2, count=2),
+            FaultSpec(kind="msg_reorder", at=1, count=2),
+            FaultSpec(kind="msg_duplicate", at=4),
+        ])
+        snapshots = []
+        for _ in range(2):
+            comm = make_comm(4, plan=plan, seed=13, budget=FaultBudget(32))
+            outcomes = []
+            for r in range(3):
+                payloads = {rank: pack_moves([(rank + 10 * r, 0, 1)])
+                            for rank in comm.live}
+                outcomes.append(comm.exchange(payloads).delivered)
+            snapshots.append((outcomes, comm.stats.to_dict(),
+                              comm.sim_time_s))
+        assert snapshots[0] == snapshots[1]
+
+
+class TestStatsCompat:
+    def test_alltoall_skips_zero_payload_ranks(self):
+        comm = CommStats()
+        comm.record_alltoall(4, [100, 0, 50, 25])
+        assert comm.rounds == 1
+        assert comm.messages == 3 * 3  # the idle rank sends nothing
+        assert comm.bytes_sent == (100 + 50 + 25) * 3
+
+    def test_dist_stats_round_trips_to_dict(self):
+        stats = DistStats(rounds=2, messages=4, bytes_sent=96,
+                          heartbeats=12, retransmits=1, crashes=1,
+                          dead_ranks=[3])
+        payload = stats.to_dict()
+        assert payload["rounds"] == 2
+        assert payload["dead_ranks"] == [3]
+        assert payload["retransmits"] == 1

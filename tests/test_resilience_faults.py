@@ -73,6 +73,28 @@ class TestFaultSpec:
         )
         assert FaultSpec.from_dict(spec.to_dict()) == spec
 
+    @pytest.mark.parametrize(
+        "kind", ["msg_drop", "msg_duplicate", "msg_reorder", "msg_corrupt"]
+    )
+    def test_message_kinds_accepted(self, kind):
+        spec = FaultSpec(kind=kind, at=3, count=2, rank=1)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rank_crash_requires_a_rank(self):
+        with pytest.raises(ReproError):
+            FaultSpec(kind="rank_crash", at=5)
+        spec = FaultSpec(kind="rank_crash", at=5, rank=2)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_negative_rank_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec(kind="msg_drop", rank=-1)
+
+    def test_rank_defaults_to_every_sender(self):
+        spec = FaultSpec(kind="msg_corrupt", at=0)
+        assert spec.rank is None
+        assert FaultSpec.from_dict(spec.to_dict()).rank is None
+
 
 class TestFaultPlan:
     def test_json_round_trip(self, tmp_path):
@@ -108,6 +130,65 @@ class TestFaultPlan:
         assert a == b
         assert len(a) == 5
         assert FaultPlan.seeded_random(4, num_faults=5) != a
+
+    def test_comm_fault_plan_json_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(kind="msg_drop", at=3, count=2, rank=0),
+                FaultSpec(kind="msg_corrupt", at=10, phase="moves",
+                          index=17, bit=3),
+                FaultSpec(kind="rank_crash", at=6, rank=2),
+            ),
+            seed=5,
+        )
+        path = plan.save_json(tmp_path / "comm_plan.json")
+        assert FaultPlan.from_json_file(path) == plan
+
+
+class TestCommFaultDeterminismAndBudget:
+    """The communication fault kinds share the resilience machinery:
+    injection is deterministic under a fixed seed and every absorbed
+    fault is charged to the run's :class:`FaultBudget`."""
+
+    def _exchange_rounds(self, plan, seed, budget, rounds=3):
+        from repro.dist import Communicator, DistStats, pack_moves
+        from repro.errors import CommError
+
+        comm = Communicator(
+            3, plan=plan, seed=seed,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_s=1e-4,
+                                     jitter=0.1, retry_on=(CommError,)),
+            budget=budget, stats=DistStats(),
+        )
+        outcomes = []
+        for r in range(rounds):
+            payloads = {rank: pack_moves([(rank + 3 * r, 0, 1)])
+                        for rank in sorted(comm.live)}
+            outcomes.append(comm.exchange(payloads).delivered)
+        return outcomes, comm.stats.to_dict(), comm.sim_time_s
+
+    def test_fixed_seed_reproduces_the_run(self):
+        plan = FaultPlan([
+            FaultSpec(kind="msg_drop", at=1, count=2),
+            FaultSpec(kind="msg_reorder", at=0, count=3),
+        ])
+        a = self._exchange_rounds(plan, seed=11, budget=FaultBudget(32))
+        b = self._exchange_rounds(plan, seed=11, budget=FaultBudget(32))
+        assert a == b
+
+    def test_absorbed_comm_faults_charge_the_budget(self):
+        plan = FaultPlan([FaultSpec(kind="msg_drop", at=0, count=3)])
+        budget = FaultBudget(32)
+        _, stats, sim_time = self._exchange_rounds(plan, 7, budget)
+        assert stats["dropped_frames"] == 3
+        assert stats["retransmits"] >= 3
+        assert budget.consumed >= 3
+        assert sim_time > 0  # backoff on the simulated clock
+
+    def test_budget_exhaustion_stops_the_exchange(self):
+        plan = FaultPlan([FaultSpec(kind="msg_drop", at=0, count=10**6)])
+        with pytest.raises(RetryExhaustedError):
+            self._exchange_rounds(plan, 7, FaultBudget(0))
 
 
 # ----------------------------------------------------------------------
