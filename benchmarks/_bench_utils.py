@@ -68,14 +68,16 @@ def ablation_workload(
 
 
 def write_bench_record(
-    name, workloads, *, seed=0, label="", extras=None, filename=None
+    name, workloads, *, seed=0, label="", extras=None, scaling=None,
+    filename=None
 ):
     """Validate and write ``BENCH_<name>.json`` at the repository root.
 
     ``extras`` lands under a free-form ``extras`` key (ratios, comm
-    volumes — whatever the ablation's headline is); the rest of the
-    document is schema-checked before writing so no emitter can drift
-    back to an ad-hoc format.
+    volumes — whatever the ablation's headline is); ``scaling`` is the
+    schema-checked strong/weak-scaling section (``dimension`` +
+    ascending ``points``); the rest of the document is schema-checked
+    before writing so no emitter can drift back to an ad-hoc format.
     """
     import json
 
@@ -83,6 +85,8 @@ def write_bench_record(
     record["workloads"] = list(workloads)
     if extras:
         record["extras"] = dict(extras)
+    if scaling:
+        record["scaling"] = dict(scaling)
     assert_valid(record, source=f"BENCH_{name}.json")
     out = REPO_ROOT / (filename or f"BENCH_{name}.json")
     out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")

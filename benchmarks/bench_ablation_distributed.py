@@ -15,6 +15,14 @@ corruption, duplication + reordering, and a mid-run rank crash.  Message
 faults must be absorbed with a byte-identical partition (they live below
 the CRC/sequence machinery); the crash run must recover and land within
 MDL tolerance of the fault-free run.
+
+The rank sweep runs with observability enabled, so every run also
+carries the rank-lane timeline (:class:`repro.dist.RankLanes`).  From
+the simulated parallel wall clock we derive the **strong-scaling
+curve** — speedup vs the 1-rank run, parallel efficiency
+(speedup/ranks) and the load-imbalance factor — recorded under the
+bench record's ``scaling`` section so ``gsap perf compare`` can flag
+curve drift between record generations.
 """
 
 import numpy as np
@@ -49,13 +57,29 @@ FAULT_SCENARIOS = {
 @pytest.mark.parametrize("ranks", RANK_COUNTS)
 def test_edist_at_rank_count(benchmark, ranks):
     graph, truth = load_dataset("low_low", 200, seed=1)
-    partitioner = EDiStPartitioner(bench_config(seed=4), num_ranks=ranks)
+    # observability on: the lanes' simulated parallel clock is the
+    # strong-scaling measurement (tracing never perturbs the RNG, so
+    # the partition is byte-identical to an untraced run)
+    config = bench_config(seed=4)
+    config = config.replace(
+        observability=config.observability.replace(enabled=True)
+    )
+    partitioner = EDiStPartitioner(config, num_ranks=ranks)
     result = pedantic_once(benchmark, partitioner.partition, graph)
+    lanes = partitioner.lanes
+    summary = lanes.summary()
     _RESULTS[ranks] = (
         partitioner.comm.bytes_sent,
         partitioner.comm.messages,
         nmi(result.partition, truth),
         result.total_time_s,
+        {
+            "lane_wall_s": lanes.clock_s,
+            "rounds": len(lanes.rounds),
+            "imbalance": summary["imbalance"],
+            "compute_s": summary["critical_path"]["compute_s"],
+            "comm_s": summary["critical_path"]["comm_s"],
+        },
     )
 
 
@@ -90,6 +114,22 @@ def test_zzz_report(benchmark, capsys):
         benchmark, lambda: [(k, *_RESULTS[k]) for k in sorted(_RESULTS)]
     )
     fault_rows = [(k, _FAULT_RESULTS[k]) for k in sorted(_FAULT_RESULTS)]
+    # strong-scaling curve off the simulated parallel lane clock
+    base_wall = _RESULTS[1][4]["lane_wall_s"]
+    scaling_points = []
+    for ranks in sorted(_RESULTS):
+        lane = _RESULTS[ranks][4]
+        speedup = base_wall / lane["lane_wall_s"]
+        scaling_points.append({
+            "value": ranks,
+            "lane_wall_s": lane["lane_wall_s"],
+            "speedup": speedup,
+            "efficiency": speedup / ranks,
+            "imbalance": lane["imbalance"],
+            "rounds": lane["rounds"],
+            "compute_s": lane["compute_s"],
+            "comm_s": lane["comm_s"],
+        })
     write_bench_record(
         "ablation_distributed",
         [
@@ -100,7 +140,7 @@ def test_zzz_report(benchmark, capsys):
                 variant=f"ranks={ranks}",
                 quality={"nmi": [quality]},
             )
-            for ranks, _nbytes, _messages, quality, runtime in rows
+            for ranks, _nbytes, _messages, quality, runtime, _lane in rows
         ] + [
             ablation_workload(
                 f"EDiSt/low_low/200#fault={scenario}",
@@ -112,9 +152,10 @@ def test_zzz_report(benchmark, capsys):
             for scenario, m in fault_rows
         ],
         seed=4, label="edist_all_to_all_volume",
+        scaling={"dimension": "ranks", "points": scaling_points},
         extras={
-            "bytes_on_wire": {str(r): n for r, n, _, _, _ in rows},
-            "messages": {str(r): m for r, _, m, _, _ in rows},
+            "bytes_on_wire": {str(r): n for r, n, _, _, _, _ in rows},
+            "messages": {str(r): m for r, _, m, _, _, _ in rows},
             "fault_matrix": {
                 scenario: {
                     "faults_injected": m["faults"],
@@ -135,8 +176,15 @@ def test_zzz_report(benchmark, capsys):
               "(low_low, 200 vertices)\n")
         print("| ranks | bytes on wire | messages | NMI |")
         print("|---|---|---|---|")
-        for ranks, nbytes, messages, quality, _runtime in rows:
+        for ranks, nbytes, messages, quality, _runtime, _lane in rows:
             print(f"| {ranks} | {nbytes:,} | {messages:,} | {quality:.3f} |")
+        print("\n### Strong scaling (simulated parallel lane clock)\n")
+        print("| ranks | lane wall s | speedup | efficiency | imbalance |")
+        print("|---|---|---|---|---|")
+        for pt in scaling_points:
+            print(f"| {pt['value']} | {pt['lane_wall_s']:.4f} | "
+                  f"{pt['speedup']:.2f} | {pt['efficiency']:.2f} | "
+                  f"{pt['imbalance']:.3f} |")
         print("\n### Comm fault matrix (EDiSt, 4 ranks)\n")
         print("| scenario | faults | retransmits | crashes | NMI | MDL |")
         print("|---|---|---|---|---|---|")
@@ -144,9 +192,21 @@ def test_zzz_report(benchmark, capsys):
             print(f"| {scenario} | {m['faults']} | {m['retransmits']} | "
                   f"{m['crashes']} | {m['nmi']:.3f} | {m['mdl']:.1f} |")
     # communication grows with rank count; quality does not improve
-    volumes = [v for _, v, _, _, _ in rows]
+    volumes = [v for _, v, _, _, _, _ in rows]
     assert volumes == sorted(volumes)
     assert volumes[-1] > volumes[1] > volumes[0] == 0
+    # the scaling curve must be sane: the 1-rank point is the speedup
+    # anchor, multi-rank runs beat it, efficiency stays in (0, ~1]
+    assert scaling_points[0] == next(
+        pt for pt in scaling_points if pt["value"] == 1
+    )
+    assert scaling_points[0]["speedup"] == 1.0
+    for pt in scaling_points[1:]:
+        assert pt["speedup"] > 1.0, (
+            f"no parallel speedup at ranks={pt['value']}"
+        )
+        assert 0.0 < pt["efficiency"] <= 1.25
+        assert pt["imbalance"] >= 1.0
     # oracle 1: message faults never change the answer
     clean = _FAULT_RESULTS["clean"]
     for scenario in ("drop", "corrupt", "dup+reorder"):

@@ -111,7 +111,8 @@ def main() -> int:
             check(trace_path, "no per-job Chrome trace path in the reply")
             if trace_path:
                 trace = json.loads(Path(trace_path).read_text())
-                events = trace["traceEvents"]
+                events = [e for e in trace["traceEvents"]
+                          if e["ph"] != "M"]
                 check(events, "per-job Chrome trace is empty")
                 check(
                     all(

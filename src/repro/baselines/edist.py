@@ -23,8 +23,10 @@ tolerance of fault-free ones.
 from __future__ import annotations
 
 import math
+import os
 import time
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -38,6 +40,7 @@ from ..dist import (
     CommStats,
     DistStats,
     MoveLogRing,
+    RankLanes,
     audit_recovery,
     pack_moves,
     recovery_cost_s,
@@ -47,7 +50,7 @@ from ..dist import (
 from ..errors import CommError, PartitionError
 from ..graph.csr import DiGraphCSR
 from ..logging_util import get_logger
-from ..obs import Observability
+from ..obs import FlightRecorder, Observability
 from ..resilience.faults import FaultPlan
 from ..resilience.retry import FaultBudget, RetryPolicy
 from .common import (
@@ -78,6 +81,10 @@ class EDiStPartitioner(CPUSBPEngine):
     move_log_capacity:
         Rounds of applied moves the replicated recovery log retains
         before folding into its base snapshot.
+    flight_dir:
+        When set, a detected rank crash dumps the flight-recorder ring
+        (recent round events + failure-detector verdict gossip) into
+        this directory as JSONL, one file per crash.
     """
 
     name = "EDiSt"
@@ -89,6 +96,7 @@ class EDiStPartitioner(CPUSBPEngine):
         max_plateaus: int = 128,
         fault_plan: Optional[FaultPlan] = None,
         move_log_capacity: int = 64,
+        flight_dir: Optional[Union[str, os.PathLike]] = None,
     ) -> None:
         super().__init__(config, max_plateaus)
         if num_ranks < 1:
@@ -96,8 +104,12 @@ class EDiStPartitioner(CPUSBPEngine):
         self.num_ranks = num_ranks
         self.fault_plan = fault_plan
         self.move_log_capacity = move_log_capacity
+        self.flight_dir = None if flight_dir is None else Path(flight_dir)
         self.comm = DistStats()
         self.obs = Observability.from_config(self.config.observability)
+        self.flight = FlightRecorder(capacity=512)
+        #: per-rank trace lanes + metric scopes; built when obs is on
+        self.lanes: Optional[RankLanes] = None
         self._runtime: Optional[Communicator] = None
         self._shard_layouts: set = set()
         self._warned_empty = False
@@ -161,6 +173,10 @@ class EDiStPartitioner(CPUSBPEngine):
             stats=self.comm,
             obs=self.obs,
         )
+        self.flight = FlightRecorder(capacity=512)
+        self._runtime.flight = self.flight
+        self.lanes = RankLanes(self.num_ranks) if self.obs.enabled else None
+        self._runtime.collect_flows = self.lanes is not None
         result = super().partition(graph)
         result.sim_time_s = self._runtime.sim_time_s
         result.dist = {
@@ -178,6 +194,37 @@ class EDiStPartitioner(CPUSBPEngine):
                 self.obs.observe("dist_recovery_seconds",
                                  self.comm.recovery_s,
                                  help="simulated time spent in rank recovery")
+        if self.lanes is not None and self.lanes.rounds:
+            summary = self.lanes.summary()
+            result.dist["analysis"] = summary
+            result.dist["lane_wall_s"] = self.lanes.clock_s
+            self.obs.gauge_set(
+                "dist_imbalance", summary["imbalance"],
+                help="mean per-round max/mean compute-time ratio",
+            )
+            if summary["straggler"] is not None:
+                self.obs.gauge_set(
+                    "dist_straggler_rank", summary["straggler"]["rank"],
+                    help="rank that most often set the round barrier",
+                )
+            for rec in self.lanes.rounds:
+                self.obs.series_append(
+                    "dist_round_compute_seconds", rec.round_index,
+                    rec.max_compute_s,
+                    help="slowest rank's compute time per round",
+                )
+                self.obs.series_append(
+                    "dist_round_comm_seconds", rec.round_index,
+                    rec.comm_s + rec.retransmit_s,
+                    help="exchange + retransmit-backoff time per round",
+                )
+                waits = [rec.max_compute_s - c
+                         for c in rec.compute_s.values()]
+                self.obs.series_append(
+                    "dist_round_barrier_wait_seconds", rec.round_index,
+                    max(waits, default=0.0),
+                    help="worst single-rank barrier wait per round",
+                )
         return result
 
     # ------------------------------------------------------------------
@@ -236,8 +283,11 @@ class EDiStPartitioner(CPUSBPEngine):
             shard_map = self._live_shards(num_vertices)
             # --- local phase: every rank evaluates its shard against the
             # replica frozen at round start (stale reads are the point)
+            lanes = self.lanes
+            compute_s: Dict[int, float] = {}
             accepted_per_rank: Dict[int, List[Tuple[int, int, int]]] = {}
             for rank in sorted(shard_map):
+                rank_t0 = time.perf_counter() if lanes else 0.0
                 accepted: List[Tuple[int, int, int]] = []
                 for v in rng.permutation(shard_map[rank]):
                     v = int(v)
@@ -261,6 +311,8 @@ class EDiStPartitioner(CPUSBPEngine):
                     if rng.random() < min(1.0, math.exp(exponent) * hastings):
                         accepted.append((v, r, s))
                 accepted_per_rank[rank] = accepted
+                if lanes:
+                    compute_s[rank] = time.perf_counter() - rank_t0
 
             # --- all-to-all: each rank broadcasts its accepted moves as
             # framed messages; loss/corruption retransmits and crash
@@ -270,12 +322,44 @@ class EDiStPartitioner(CPUSBPEngine):
                 for rank, moves in accepted_per_rank.items()
             }
             round_index = comm.round_index
+            backoff_before = self.comm.backoff_s
+            recovery_before = self.comm.recovery_s
+            exchange_t0 = time.perf_counter()
             outcome = comm.exchange(payloads)
+            comm_wall_s = time.perf_counter() - exchange_t0
+            retransmit_s = self.comm.backoff_s - backoff_before
+            flows = list(comm.last_round_flows)
+            moves_per_rank = {
+                rank: len(moves) for rank, moves in accepted_per_rank.items()
+            }
+            self.flight.append("dist_round", {
+                "round": round_index,
+                "moves": {str(r): n for r, n in sorted(moves_per_rank.items())},
+                "aborted": not outcome.ok,
+                "failed_ranks": list(outcome.failed_ranks),
+            })
             if not outcome.ok:
                 # crash detected: the round is discarded everywhere
                 # (deterministically — no survivor applied anything),
                 # survivors recover and the sweep re-runs re-sharded
                 self._recover(outcome.failed_ranks, bmap, ring)
+                if lanes:
+                    lanes.record_round(
+                        round_index=round_index, compute_s=compute_s,
+                        comm_s=comm_wall_s, retransmit_s=retransmit_s,
+                        recovery_s=self.comm.recovery_s - recovery_before,
+                        aborted=True, failed_ranks=outcome.failed_ranks,
+                        flows=flows, moves=moves_per_rank,
+                        payload_bytes={r: len(p) for r, p in payloads.items()},
+                    )
+                if self.flight_dir is not None:
+                    victims = "-".join(str(r) for r in outcome.failed_ranks)
+                    self.flight.dump(
+                        self.flight_dir
+                        / f"rank_crash_round{round_index:05d}.jsonl",
+                        reason=f"rank_crash: rank(s) {victims} declared "
+                               f"dead in round {round_index}",
+                    )
                 continue
 
             # replica-consistency oracle: every survivor must have
@@ -292,6 +376,7 @@ class EDiStPartitioner(CPUSBPEngine):
             # --- apply phase: every replica applies the global move set
             # in rank order (the shared model/bmap stand in for the
             # replicas, exactly like the sequential-rank substitution)
+            apply_t0 = time.perf_counter() if lanes else 0.0
             applied: List[Tuple[int, int, int]] = []
             for rank in sorted(accepted_per_rank):
                 moves = accepted_per_rank[rank]
@@ -317,6 +402,14 @@ class EDiStPartitioner(CPUSBPEngine):
                     bmap[v] = s
                     applied.append((v, r, s))
             ring.append(round_index, applied)
+            if lanes:
+                lanes.record_round(
+                    round_index=round_index, compute_s=compute_s,
+                    comm_s=comm_wall_s, retransmit_s=retransmit_s,
+                    apply_s=time.perf_counter() - apply_t0,
+                    flows=flows, moves=moves_per_rank,
+                    payload_bytes={r: len(p) for r, p in payloads.items()},
+                )
 
             new_mdl = description_length(model, num_vertices, total_weight)
             window.append(mdl - new_mdl)

@@ -135,6 +135,11 @@ def _add_partition(sub: argparse._SubParsersAction) -> None:
              "(EDiSt only)",
     )
     p.add_argument(
+        "--dist-flight-dir", metavar="DIR",
+        help="dump the distributed flight-recorder ring into DIR on "
+             "every rank-crash recovery (EDiSt only)",
+    )
+    p.add_argument(
         "--no-incremental", action="store_true",
         help="disable incremental blockmodel maintenance and rebuild "
              "with Algorithm 2 after every accepted batch (GSAP only)",
@@ -159,13 +164,14 @@ def _add_partition(sub: argparse._SubParsersAction) -> None:
     )
     p.add_argument(
         "--trace-out", metavar="FILE",
-        help="write a Chrome/Perfetto trace of the run (GSAP only); "
+        help="write a Chrome/Perfetto trace of the run; for EDiSt this "
+             "is a merged multi-lane trace with one pid per rank; "
              "enables observability",
     )
     p.add_argument(
         "--metrics-out", metavar="FILE",
-        help="write run metrics in Prometheus text format (GSAP only); "
-             "enables observability",
+        help="write run metrics in Prometheus text format (for EDiSt "
+             "with per-rank dist_rank_* samples); enables observability",
     )
     p.add_argument(
         "--events-out", metavar="FILE",
@@ -244,6 +250,12 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.dist_flight_dir and not is_edist:
+        print(
+            f"--dist-flight-dir is only supported for EDiSt, not {args.algo}",
+            file=sys.stderr,
+        )
+        return 2
     if is_edist:
         from .baselines import EDiStPartitioner
         from .resilience import FaultPlan
@@ -256,7 +268,8 @@ def _cmd_partition(args: argparse.Namespace) -> int:
                 f"over {args.dist_ranks} ranks"
             )
         partitioner = EDiStPartitioner(
-            config, num_ranks=args.dist_ranks, fault_plan=dist_plan
+            config, num_ranks=args.dist_ranks, fault_plan=dist_plan,
+            flight_dir=args.dist_flight_dir,
         )
     else:
         partitioner = make_partitioner(args.algo, config)
@@ -391,18 +404,46 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if obs is not None and obs.enabled:
         from .obs import write_chrome_trace, write_jsonl, write_prometheus
 
+        lanes = getattr(partitioner, "lanes", None)
         if args.trace_out:
-            write_chrome_trace(
-                obs.tracer, args.trace_out,
-                metadata={"algorithm": result.algorithm, "seed": args.seed},
-            )
-            print(f"trace written to {args.trace_out} "
-                  f"({len(obs.tracer.spans())} spans)")
+            if lanes is not None and lanes.rounds:
+                from .obs import merge_rank_traces, write_merged_trace
+
+                payload = merge_rank_traces(
+                    lanes.tracers, driver=obs.tracer,
+                    metadata={
+                        "algorithm": result.algorithm, "seed": args.seed,
+                    },
+                )
+                write_merged_trace(payload, args.trace_out)
+                print(
+                    f"merged rank-lane trace written to {args.trace_out} "
+                    f"({lanes.num_ranks} rank lanes, "
+                    f"{len(payload['traceEvents'])} events)"
+                )
+            else:
+                write_chrome_trace(
+                    obs.tracer, args.trace_out,
+                    metadata={
+                        "algorithm": result.algorithm, "seed": args.seed,
+                    },
+                )
+                print(f"trace written to {args.trace_out} "
+                      f"({len(obs.tracer.spans())} spans)")
         if args.metrics_out:
             write_prometheus(
                 obs.metrics, args.metrics_out,
                 labels={"algorithm": result.algorithm, "seed": args.seed},
             )
+            if lanes is not None and lanes.rounds:
+                from .obs import prometheus_text_multi
+
+                page = prometheus_text_multi(
+                    lanes.metrics, label="rank",
+                    labels={"algorithm": result.algorithm},
+                )
+                with open(args.metrics_out, "a", encoding="utf-8") as fh:
+                    fh.write(page)
             print(f"metrics written to {args.metrics_out}")
         if args.events_out:
             write_jsonl(args.events_out, obs.tracer, obs.metrics)
@@ -1025,6 +1066,63 @@ def _cmd_perf_trend(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_dist(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "dist",
+        help="distributed-runtime observatory: analyze merged rank traces",
+    )
+    dist_sub = p.add_subparsers(dest="dist_command", required=True)
+
+    an_p = dist_sub.add_parser(
+        "analyze",
+        help="straggler/critical-path analysis of a merged rank-lane trace",
+    )
+    an_p.add_argument(
+        "trace", help="merged multi-lane trace JSON (partition --algo "
+                      "EDiSt --trace-out)",
+    )
+    an_p.add_argument(
+        "--json-out", metavar="FILE",
+        help="also write the analysis as JSON",
+    )
+    an_p.set_defaults(func=_cmd_dist_analyze)
+
+
+def _cmd_dist_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from .dist import analysis_markdown, analyze_merged_trace
+    from .obs import validate_merged_trace
+
+    try:
+        payload = json.loads(Path(args.trace).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"cannot read trace {args.trace}: {err}", file=sys.stderr)
+        return 1
+    problems = validate_merged_trace(payload)
+    if problems:
+        print(f"trace {args.trace} is not a valid merged rank-lane trace:",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    try:
+        summary = analyze_merged_trace(payload)
+    except ValueError as err:
+        print(f"cannot analyze {args.trace}: {err}", file=sys.stderr)
+        return 1
+    print(analysis_markdown(summary), end="")
+    if args.json_out:
+        out = Path(args.json_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(summary, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"analysis written to {args.json_out}")
+    return 0
+
+
 def _add_info(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("info", help="print the dataset registry (Table 1)")
     p.set_defaults(func=_cmd_info)
@@ -1063,6 +1161,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_hierarchy(sub)
     _add_verify(sub)
     _add_perf(sub)
+    _add_dist(sub)
     _add_info(sub)
     return parser
 

@@ -11,8 +11,15 @@ failure model and the two oracles (fault-free byte-identity, bounded
 quality loss under recovery).
 """
 
+from .analysis import (
+    RoundRecord,
+    analysis_markdown,
+    analyze_merged_trace,
+    analyze_rounds,
+)
 from .channel import CommFaultInjector, FaultyChannel
 from .comm import Communicator, CommStats, DistStats, RoundOutcome
+from .lanes import RankLanes, flow_event_id
 from .message import (
     FRAME_OVERHEAD,
     MOVE_RECORD_BYTES,
@@ -33,6 +40,12 @@ from .recovery import (
 )
 
 __all__ = [
+    "RoundRecord",
+    "analyze_rounds",
+    "analyze_merged_trace",
+    "analysis_markdown",
+    "RankLanes",
+    "flow_event_id",
     "CommFaultInjector",
     "FaultyChannel",
     "Communicator",

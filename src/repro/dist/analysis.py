@@ -1,0 +1,303 @@
+"""Round-structured analysis of a distributed run's rank lanes.
+
+The distributed move phase is round-synchronous: every rank computes
+over its shard, waits at the barrier for the slowest peer, exchanges
+accepted moves all-to-all, and applies the global move set.  That
+structure makes attribution exact — for every round the lane timeline
+(:mod:`repro.dist.lanes`) records one :class:`RoundRecord` with the
+per-rank compute time and the shared comm/retransmit/apply/recovery
+components, and :func:`analyze_rounds` folds the records into the
+signals the EDiSt scaling literature says matter (Wanye et al.,
+PAPERS.md: load imbalance and synchronization waits at round barriers):
+
+* **barrier wait** per rank: ``max(compute) - compute[rank]`` summed
+  over rounds — the time each rank idles at the round barrier;
+* **straggler**: the rank that most often sets the round barrier
+  (led the most rounds; ties break to the lowest rank), with its
+  total max-minus-median excess;
+* **load-imbalance factor**: mean over rounds of
+  ``max(compute) / mean(compute)`` (1.0 = perfectly balanced);
+* **critical path**: the longest chain through the round DAG is the
+  per-round maximum-compute rank followed by the shared exchange —
+  decomposed into compute / comm / retransmit / recovery seconds that
+  by construction sum to the simulated lane wall time.
+
+:func:`analyze_merged_trace` recovers the same records from a merged
+Chrome trace written by :mod:`repro.obs.distmerge` (every lane span
+carries a ``round`` arg), so ``gsap dist analyze <trace>`` works from
+the artifact alone, without the live run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "RoundRecord",
+    "analyze_rounds",
+    "analyze_merged_trace",
+    "analysis_markdown",
+]
+
+#: analysis summary version (rides in run reports and bench records)
+DIST_ANALYSIS_SCHEMA = "gsap-dist-analysis/1"
+
+
+@dataclass
+class RoundRecord:
+    """One communication round of the simulated parallel timeline.
+
+    ``compute_s`` maps each live rank to its measured local-phase wall
+    time; the remaining components are shared across the membership
+    (the exchange and apply phases end at a barrier for everyone).
+    """
+
+    round_index: int
+    compute_s: Dict[int, float]
+    comm_s: float = 0.0
+    retransmit_s: float = 0.0
+    apply_s: float = 0.0
+    recovery_s: float = 0.0
+    aborted: bool = False
+    failed_ranks: Tuple[int, ...] = ()
+    #: delivered-frame flow pairs recorded for this round
+    flows: int = 0
+    moves: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def max_compute_s(self) -> float:
+        return max(self.compute_s.values(), default=0.0)
+
+    @property
+    def duration_s(self) -> float:
+        """Barrier-to-barrier length of the round on every lane."""
+        return (self.max_compute_s + self.comm_s + self.retransmit_s
+                + self.apply_s + self.recovery_s)
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if not n:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def analyze_rounds(
+    rounds: Sequence[RoundRecord],
+    *,
+    wall_s: Optional[float] = None,
+) -> dict:
+    """Fold round records into the straggler/critical-path summary.
+
+    ``wall_s`` is the simulated parallel wall time of the run (the lane
+    clock); when omitted it is reconstructed as the sum of round
+    durations — identical by construction.
+    """
+    rounds = list(rounds)
+    compute_cp = 0.0
+    comm_cp = 0.0
+    retransmit_cp = 0.0
+    recovery_cp = 0.0
+    barrier_wait: Dict[int, float] = {}
+    led_rounds: Dict[int, int] = {}
+    straggler_excess = 0.0
+    imbalance_factors: List[float] = []
+    per_round: List[dict] = []
+
+    for rec in rounds:
+        max_c = rec.max_compute_s
+        compute_cp += max_c + rec.apply_s
+        comm_cp += rec.comm_s
+        retransmit_cp += rec.retransmit_s
+        recovery_cp += rec.recovery_s
+        straggler_rank = None
+        if rec.compute_s:
+            # ties break to the lowest rank so the verdict is stable
+            straggler_rank = min(
+                r for r, c in rec.compute_s.items() if c == max_c
+            )
+            led_rounds[straggler_rank] = led_rounds.get(straggler_rank, 0) + 1
+            straggler_excess += max_c - _median(list(rec.compute_s.values()))
+            mean_c = sum(rec.compute_s.values()) / len(rec.compute_s)
+            if mean_c > 0:
+                imbalance_factors.append(max_c / mean_c)
+            for rank, c in rec.compute_s.items():
+                barrier_wait[rank] = barrier_wait.get(rank, 0.0) + (max_c - c)
+        per_round.append({
+            "round": rec.round_index,
+            "duration_s": rec.duration_s,
+            "max_compute_s": max_c,
+            "median_compute_s": _median(list(rec.compute_s.values())),
+            "straggler_rank": straggler_rank,
+            "comm_s": rec.comm_s,
+            "retransmit_s": rec.retransmit_s,
+            "apply_s": rec.apply_s,
+            "recovery_s": rec.recovery_s,
+            "aborted": rec.aborted,
+            "failed_ranks": list(rec.failed_ranks),
+            "flows": rec.flows,
+        })
+
+    total_cp = compute_cp + comm_cp + retransmit_cp + recovery_cp
+    if wall_s is None:
+        wall_s = total_cp
+    straggler = None
+    if led_rounds:
+        lead = max(led_rounds.values())
+        rank = min(r for r, n in led_rounds.items() if n == lead)
+        straggler = {
+            "rank": rank,
+            "rounds_led": lead,
+            "excess_s": straggler_excess,
+        }
+    imbalance = (
+        sum(imbalance_factors) / len(imbalance_factors)
+        if imbalance_factors else 1.0
+    )
+    return {
+        "schema": DIST_ANALYSIS_SCHEMA,
+        "rounds": len(rounds),
+        "aborted_rounds": sum(1 for r in rounds if r.aborted),
+        "wall_s": wall_s,
+        "straggler": straggler,
+        "imbalance": imbalance,
+        "barrier_wait_s": {
+            str(rank): barrier_wait[rank] for rank in sorted(barrier_wait)
+        },
+        "critical_path": {
+            "compute_s": compute_cp,
+            "comm_s": comm_cp,
+            "retransmit_s": retransmit_cp,
+            "recovery_s": recovery_cp,
+            "total_s": total_cp,
+            "wall_coverage": (total_cp / wall_s) if wall_s > 0 else 1.0,
+        },
+        "per_round": per_round,
+    }
+
+
+# ----------------------------------------------------------------------
+# trace-driven path: rebuild the records from a merged Chrome trace
+# ----------------------------------------------------------------------
+def analyze_merged_trace(payload: dict) -> dict:
+    """Run :func:`analyze_rounds` on a merged multi-lane Chrome trace.
+
+    Every lane span written by :class:`repro.dist.lanes.RankLanes`
+    carries ``args.round`` plus its category (``compute`` / ``barrier``
+    / ``comm`` / ``retransmit`` / ``recovery``), and the lane pid *is*
+    the rank, so the per-round records reconstruct exactly.
+    """
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("not a Chrome trace: missing traceEvents list")
+    rounds: Dict[int, RoundRecord] = {}
+    lane_start = None
+    lane_end = None
+    for event in events:
+        ph = event.get("ph")
+        args = event.get("args") or {}
+        if "round" not in args:
+            continue  # driver-lane spans live on a different clock
+        if ph == "X":
+            ts = float(event.get("ts", 0.0))
+            end = ts + float(event.get("dur", 0.0))
+            lane_start = ts if lane_start is None else min(lane_start, ts)
+            lane_end = end if lane_end is None else max(lane_end, end)
+        index = int(args["round"])
+        rec = rounds.get(index)
+        if rec is None:
+            rec = rounds[index] = RoundRecord(round_index=index, compute_s={})
+        if ph == "s":
+            rec.flows += 1
+            continue
+        if ph != "X":
+            if ph == "i" and event.get("name") == "rank_crash":
+                rec.aborted = True
+                rec.failed_ranks = tuple(sorted(
+                    set(rec.failed_ranks) | {int(event.get("pid", -1))}
+                ))
+            continue
+        dur_s = float(event.get("dur", 0.0)) / 1e6
+        cat = event.get("cat", "")
+        name = event.get("name", "")
+        rank = int(event.get("pid", 0))
+        if cat == "compute" and name == "compute":
+            rec.compute_s[rank] = dur_s
+            rec.moves[rank] = int(args.get("moves", 0))
+        elif cat == "compute" and name == "apply":
+            rec.apply_s = max(rec.apply_s, dur_s)
+        elif cat == "comm":
+            rec.comm_s = max(rec.comm_s, dur_s)
+        elif cat == "retransmit":
+            rec.retransmit_s = max(rec.retransmit_s, dur_s)
+        elif cat == "recovery":
+            rec.recovery_s = max(rec.recovery_s, dur_s)
+            rec.aborted = True
+    if not rounds:
+        raise ValueError(
+            "no distributed rounds in this trace (was it written by an "
+            "EDiSt run with --trace-out?)"
+        )
+    wall_s = None
+    if lane_start is not None and lane_end is not None:
+        wall_s = (lane_end - lane_start) / 1e6
+    return analyze_rounds(
+        [rounds[i] for i in sorted(rounds)], wall_s=wall_s
+    )
+
+
+def analysis_markdown(summary: dict) -> str:
+    """Render an analysis summary for terminals and reports."""
+    cp = summary["critical_path"]
+    wall = summary["wall_s"]
+    lines = [
+        "# Distributed rank-lane analysis",
+        "",
+        f"- rounds: {summary['rounds']} "
+        f"({summary['aborted_rounds']} aborted by crashes)",
+        f"- simulated parallel wall time: {wall:.4f}s",
+        f"- load-imbalance factor (max/mean compute): "
+        f"{summary['imbalance']:.3f}",
+    ]
+    straggler = summary.get("straggler")
+    if straggler:
+        lines.append(
+            f"- straggler: rank {straggler['rank']} set the barrier in "
+            f"{straggler['rounds_led']}/{summary['rounds']} rounds "
+            f"(max-minus-median excess {straggler['excess_s']:.4f}s)"
+        )
+    lines += [
+        "",
+        "## Critical path",
+        "",
+        "| component | seconds | share |",
+        "|---|---:|---:|",
+    ]
+    total = cp["total_s"] or 1.0
+    for component in ("compute_s", "comm_s", "retransmit_s", "recovery_s"):
+        value = cp[component]
+        lines.append(
+            f"| {component[:-2]} | {value:.4f} | "
+            f"{value / total * 100.0:.1f}% |"
+        )
+    lines.append(
+        f"| **total** | {cp['total_s']:.4f} | "
+        f"{cp['wall_coverage'] * 100.0:.1f}% of wall |"
+    )
+    waits = summary.get("barrier_wait_s") or {}
+    if waits:
+        lines += [
+            "",
+            "## Barrier wait per rank",
+            "",
+            "| rank | wait s |",
+            "|---:|---:|",
+        ]
+        for rank in sorted(waits, key=int):
+            lines.append(f"| {rank} | {waits[rank]:.4f} |")
+    return "\n".join(lines) + "\n"

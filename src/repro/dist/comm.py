@@ -159,6 +159,14 @@ class Communicator:
         self._seq: Dict[Tuple[int, int], int] = {}
         #: last frame per (src, dst, kind, round) for retransmission
         self._sent: Dict[Tuple[int, int, str, int], Frame] = {}
+        #: when set, every frame delivered in the current round is
+        #: recorded as ``(src, dst, kind, seq)`` for the rank-lane
+        #: flow-event pass (:mod:`repro.dist.lanes`)
+        self.collect_flows = False
+        self.last_round_flows: List[Tuple[int, int, str, int]] = []
+        #: optional :class:`~repro.obs.flight.FlightRecorder` fed with
+        #: failure-detector verdict gossip for post-incident dumps
+        self.flight = None
 
     # ------------------------------------------------------------------
     def _count(self, name: str, amount: float = 1.0, help: str = "") -> None:
@@ -266,6 +274,22 @@ class Communicator:
         return (self.budget is not None
                 and self.budget.consumed > self.budget.limit)
 
+    def _gossip_verdict(self, dst: int, src: int, round_index: int) -> None:
+        """Record one failure-detector verdict on the flight recorder.
+
+        The first receiver to exhaust retries on a peer gossips the
+        death verdict to the remaining receivers; the flight-recorder
+        entry preserves who condemned whom in which round so a
+        post-crash dump reconstructs the detection sequence.
+        """
+        if self.flight is not None:
+            self.flight.append("verdict_gossip", {
+                "verdict": "dead",
+                "suspect": src,
+                "accuser": dst,
+                "round": round_index,
+            })
+
     # ------------------------------------------------------------------
     def exchange(self, payloads: Dict[int, bytes]) -> RoundOutcome:
         """One round-synchronous all-to-all over the live membership.
@@ -278,6 +302,7 @@ class Communicator:
         round_index = self.round_index
         self.round_index += 1
         members = sorted(self.live)
+        self.last_round_flows = []
 
         # planned crashes fire at the round barrier: the victim dies
         # *before* sending, and nobody is told — survivors must detect.
@@ -342,7 +367,12 @@ class Communicator:
                     if self._budget_blown():
                         raise
                     suspected.append(src)
+                    self._gossip_verdict(dst, src, round_index)
                     continue
+                if self.collect_flows:
+                    self.last_round_flows.append(
+                        (src, dst, MSG_HEARTBEAT, heartbeat.seq)
+                    )
                 num_frames, _announced = unpack_heartbeat(heartbeat.payload)
                 if num_frames == 0:
                     from_src[src] = b""
@@ -355,7 +385,12 @@ class Communicator:
                     if self._budget_blown():
                         raise
                     suspected.append(src)
+                    self._gossip_verdict(dst, src, round_index)
                     continue
+                if self.collect_flows:
+                    self.last_round_flows.append(
+                        (src, dst, MSG_MOVES, moves.seq)
+                    )
                 from_src[src] = moves.payload
             delivered[dst] = from_src
 

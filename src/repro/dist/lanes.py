@@ -1,0 +1,201 @@
+"""Per-rank trace lanes: the simulated parallel timeline of a run.
+
+The ranks of :class:`~repro.baselines.edist.EDiStPartitioner` execute
+sequentially in-process, so their wall-clock spans would all lie on one
+thread track and tell nothing about parallel behaviour.
+:class:`RankLanes` gives every rank its own :class:`~repro.obs.trace.Tracer`
+and metrics scope and *constructs* the parallel timeline the real
+cluster would have had: rounds are laid out barrier-to-barrier on a
+shared simulated clock, each rank's measured local-phase time runs from
+the round start, the gap to the slowest rank becomes an explicit
+``barrier_wait`` span, and the shared exchange / retransmit-backoff /
+apply / recovery components follow, identical on every lane (they end
+at a barrier for everyone).
+
+Because the timeline is built from the same components the analysis
+pass (:mod:`repro.dist.analysis`) sums over, the critical-path
+decomposition matches the lane wall clock exactly — the acceptance
+bound ("within 5% of wall time") holds by construction, with the slack
+reserved for trace-roundtrip float loss.
+
+Every delivered frame is stamped as a Chrome-trace flow-event pair
+(``flow_s`` on the sender lane at exchange start, ``flow_f`` on the
+receiver lane at exchange end) whose id encodes ``(src, dst, seq)``,
+so the merged trace renders messages as arrows between rank lanes and
+the ids pair 1:1 with Frame sequence numbers.
+
+Lane building never touches the RNG streams: a traced run stays
+bit-identical to an untraced one (the same contract as the rest of
+:mod:`repro.obs`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import Tracer
+from .analysis import RoundRecord, analyze_rounds
+
+__all__ = ["RankLanes", "flow_event_id"]
+
+
+def flow_event_id(src: int, dst: int, seq: int, num_ranks: int) -> int:
+    """Deterministic flow-event id for one delivered frame.
+
+    Sequence numbers are per ``(src, dst)`` channel and monotone, so
+    ``(src, dst, seq)`` uniquely names a frame across the whole run and
+    the send/finish endpoints of one arrow share one id.
+    """
+    return (src * num_ranks + dst) * (1 << 32) + seq
+
+
+class RankLanes:
+    """One trace lane + metrics scope per simulated rank."""
+
+    def __init__(self, num_ranks: int, *, enabled: bool = True) -> None:
+        self.num_ranks = num_ranks
+        self.enabled = bool(enabled)
+        #: simulated parallel wall clock (seconds since run start)
+        self.clock_s = 0.0
+        # the lanes live on a frozen clock (epoch 0) so spans are placed
+        # at explicit simulated timestamps via start_abs_s
+        self.tracers: Dict[int, Tracer] = {
+            rank: Tracer(enabled=self.enabled, clock=lambda: 0.0)
+            for rank in range(num_ranks)
+        }
+        self.metrics: Dict[int, MetricsRegistry] = {
+            rank: MetricsRegistry() for rank in range(num_ranks)
+        }
+        self.rounds: List[RoundRecord] = []
+
+    # ------------------------------------------------------------------
+    def _count(self, rank: int, name: str, amount: float, help: str) -> None:
+        self.metrics[rank].counter(name, help).inc(amount)
+
+    def record_round(
+        self,
+        *,
+        round_index: int,
+        compute_s: Dict[int, float],
+        comm_s: float = 0.0,
+        retransmit_s: float = 0.0,
+        apply_s: float = 0.0,
+        recovery_s: float = 0.0,
+        aborted: bool = False,
+        failed_ranks: Sequence[int] = (),
+        flows: Sequence[Tuple[int, int, str, int]] = (),
+        moves: Optional[Dict[int, int]] = None,
+        payload_bytes: Optional[Dict[int, int]] = None,
+    ) -> RoundRecord:
+        """Lay one barrier-to-barrier round onto every live lane.
+
+        ``compute_s`` carries the measured local-phase seconds per live
+        rank; ``flows`` lists the delivered frames of the round as
+        ``(src, dst, kind, seq)``; ``moves``/``payload_bytes`` feed the
+        per-rank metric scopes.
+        """
+        moves = moves or {}
+        payload_bytes = payload_bytes or {}
+        t0 = self.clock_s
+        max_c = max(compute_s.values(), default=0.0)
+        barrier_end = t0 + max_c
+        exchange_end = barrier_end + comm_s
+        retransmit_end = exchange_end + retransmit_s
+        survivors = [r for r in compute_s if r not in set(failed_ranks)]
+
+        if self.enabled:
+            for rank, c in compute_s.items():
+                tracer = self.tracers[rank]
+                tracer.add_complete(
+                    "compute", "compute", c, start_abs_s=t0,
+                    args={"round": round_index,
+                          "moves": int(moves.get(rank, 0))},
+                )
+                tracer.add_complete(
+                    "barrier_wait", "barrier", max_c - c,
+                    start_abs_s=t0 + c, args={"round": round_index},
+                )
+                tracer.add_complete(
+                    "exchange", "comm", comm_s, start_abs_s=barrier_end,
+                    args={"round": round_index,
+                          "bytes": int(payload_bytes.get(rank, 0))},
+                )
+                if retransmit_s > 0:
+                    tracer.add_complete(
+                        "retransmit_backoff", "retransmit", retransmit_s,
+                        start_abs_s=exchange_end,
+                        args={"round": round_index},
+                    )
+                if apply_s > 0 and not aborted:
+                    tracer.add_complete(
+                        "apply", "compute", apply_s,
+                        start_abs_s=retransmit_end,
+                        args={"round": round_index},
+                    )
+            for src, dst, kind, seq in flows:
+                flow_id = flow_event_id(src, dst, seq, self.num_ranks)
+                flow_args = {"round": round_index, "flow_id": flow_id,
+                             "src": src, "dst": dst, "seq": seq,
+                             "msg": kind}
+                self.tracers[src].add_complete(
+                    kind, "flow", 0.0, start_abs_s=barrier_end,
+                    args=flow_args, kind="flow_s",
+                )
+                self.tracers[dst].add_complete(
+                    kind, "flow", 0.0, start_abs_s=exchange_end,
+                    args=flow_args, kind="flow_f",
+                )
+            if aborted:
+                for rank in failed_ranks:
+                    if rank in self.tracers:
+                        self.tracers[rank].add_complete(
+                            "rank_crash", "dist", 0.0,
+                            start_abs_s=retransmit_end,
+                            args={"round": round_index}, kind="instant",
+                        )
+                for rank in survivors:
+                    self.tracers[rank].add_complete(
+                        "recovery", "recovery", recovery_s,
+                        start_abs_s=retransmit_end,
+                        args={"round": round_index,
+                              "failed_ranks": sorted(failed_ranks)},
+                    )
+
+        for rank, c in compute_s.items():
+            self._count(rank, "dist_rank_compute_seconds_total", c,
+                        "local-phase compute seconds on this rank")
+            self._count(rank, "dist_rank_barrier_wait_seconds_total",
+                        max_c - c,
+                        "seconds idled at round barriers on this rank")
+            if moves.get(rank):
+                self._count(rank, "dist_rank_moves_accepted_total",
+                            moves[rank],
+                            "accepted moves broadcast by this rank")
+            if payload_bytes.get(rank):
+                self._count(rank, "dist_rank_payload_bytes_total",
+                            payload_bytes[rank],
+                            "moves payload bytes broadcast by this rank")
+
+        record = RoundRecord(
+            round_index=round_index,
+            compute_s=dict(compute_s),
+            comm_s=comm_s,
+            retransmit_s=retransmit_s,
+            apply_s=apply_s if not aborted else 0.0,
+            recovery_s=recovery_s,
+            aborted=aborted,
+            failed_ranks=tuple(sorted(failed_ranks)),
+            flows=len(flows),
+            moves={r: int(moves.get(r, 0)) for r in compute_s},
+        )
+        self.rounds.append(record)
+        self.clock_s = retransmit_end + (
+            recovery_s if aborted else apply_s
+        )
+        return record
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """The straggler/critical-path analysis over all recorded rounds."""
+        return analyze_rounds(self.rounds, wall_s=self.clock_s)

@@ -20,10 +20,20 @@ The subsystem has four layers (see docs/observability.md):
 pipeline wires through; :data:`NULL_OBS` is the shared disabled hub.
 """
 
+from .distmerge import (
+    DRIVER_PID,
+    MERGED_TRACE_SCHEMA,
+    merge_rank_traces,
+    merged_trace_text,
+    validate_merged_trace,
+    write_merged_trace,
+)
 from .export import (
     chrome_trace_events,
     jsonl_events,
+    process_metadata_events,
     prometheus_text,
+    prometheus_text_multi,
     validate_prometheus_text,
     write_chrome_trace,
     write_jsonl,
@@ -70,12 +80,20 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "DURATION_BUCKETS",
     "chrome_trace_events",
+    "process_metadata_events",
     "write_chrome_trace",
     "jsonl_events",
     "write_jsonl",
     "prometheus_text",
+    "prometheus_text_multi",
     "write_prometheus",
     "validate_prometheus_text",
+    "DRIVER_PID",
+    "MERGED_TRACE_SCHEMA",
+    "merge_rank_traces",
+    "merged_trace_text",
+    "write_merged_trace",
+    "validate_merged_trace",
     "SLOEngine",
     "SLOObjective",
     "DEFAULT_OBJECTIVES",

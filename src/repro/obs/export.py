@@ -60,9 +60,49 @@ def _atomic_write_text(path: Path, text: str) -> None:
 # ----------------------------------------------------------------------
 # Chrome trace-event format
 # ----------------------------------------------------------------------
-def chrome_trace_events(tracer: Tracer, pid: int = 1) -> List[dict]:
-    """Convert a tracer's spans into trace-event dicts (ts/dur in µs)."""
+def process_metadata_events(
+    pid: int,
+    process_name: Optional[str] = None,
+    thread_name: Optional[str] = None,
+    tid: int = 0,
+) -> List[dict]:
+    """``ph: "M"`` metadata events labelling one pid/tid track.
+
+    Without these Perfetto renders a trace as an unnamed process; rank
+    lanes in a merged distributed trace need labelled pids to be
+    readable.
+    """
     events: List[dict] = []
+    if process_name is not None:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": process_name},
+        })
+    if thread_name is not None:
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": thread_name},
+        })
+    return events
+
+
+def chrome_trace_events(
+    tracer: Tracer,
+    pid: int = 1,
+    *,
+    process_name: Optional[str] = None,
+    thread_name: Optional[str] = None,
+) -> List[dict]:
+    """Convert a tracer's spans into trace-event dicts (ts/dur in µs).
+
+    ``process_name``/``thread_name`` prepend ``ph: "M"`` metadata events
+    naming the track.  Spans of kind ``flow_s``/``flow_f`` become flow
+    events (``ph: "s"``/``"f"``) — arrows between lanes in Perfetto —
+    with the event ``id`` taken from the span's ``flow_id`` arg.
+    """
+    events: List[dict] = process_metadata_events(
+        pid, process_name, thread_name
+    )
     for span in tracer.spans():
         base = {
             "name": span.name,
@@ -75,6 +115,11 @@ def chrome_trace_events(tracer: Tracer, pid: int = 1) -> List[dict]:
         if span.kind == "instant":
             base["ph"] = "i"
             base["s"] = "t"  # thread-scoped instant
+        elif span.kind in ("flow_s", "flow_f"):
+            base["ph"] = "s" if span.kind == "flow_s" else "f"
+            base["id"] = span.args.get("flow_id", span.index)
+            if span.kind == "flow_f":
+                base["bp"] = "e"  # bind the arrow to the enclosing slice
         else:
             base["ph"] = "X"
             duration = span.duration_s
@@ -89,10 +134,16 @@ def write_chrome_trace(
     tracer: Tracer,
     path: PathLike,
     metadata: Optional[dict] = None,
+    *,
+    pid: int = 1,
+    process_name: Optional[str] = "gsap",
+    thread_name: Optional[str] = "main",
 ) -> Path:
     """Write a Perfetto/``chrome://tracing``-loadable trace file."""
     payload = {
-        "traceEvents": chrome_trace_events(tracer),
+        "traceEvents": chrome_trace_events(
+            tracer, pid, process_name=process_name, thread_name=thread_name
+        ),
         "displayTimeUnit": "ms",
         "otherData": dict(metadata or {}),
     }
@@ -238,6 +289,72 @@ def prometheus_text(
             lines.append(
                 f"{name}{lbl} {_fmt(last if last is not None else 0.0)}"
             )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def prometheus_text_multi(
+    registries: Dict[object, MetricsRegistry],
+    *,
+    label: str,
+    prefix: str = "gsap_",
+    labels: Optional[Dict[str, object]] = None,
+) -> str:
+    """Render several registries as one page, distinguished by *label*.
+
+    The per-rank metric scopes of a distributed run all carry the same
+    metric names; naively concatenating one :func:`prometheus_text`
+    page per rank would repeat ``# TYPE`` groups for the same name,
+    which the exposition format forbids.  This renderer emits each
+    metric's HELP/TYPE comments once, then one sample (or histogram
+    group) per registry with ``{label="<key>"}`` attached — e.g.
+    ``gsap_dist_rank_compute_seconds_total{rank="3"}``.  *labels* are
+    shared provenance labels added to every sample line.
+    """
+    if not _LABEL_NAME_RE.match(label):
+        raise ValueError(
+            f"label name {label!r} is not Prometheus-compatible "
+            "([a-zA-Z_][a-zA-Z0-9_]*)"
+        )
+    # metric name -> [(label value, metric)], keeping registry order
+    by_name: Dict[str, List[tuple]] = {}
+    helps: Dict[str, str] = {}
+    for key in sorted(registries, key=str):
+        for metric in sorted(registries[key], key=lambda m: m.name):
+            by_name.setdefault(metric.name, []).append((key, metric))
+            if metric.help and metric.name not in helps:
+                helps[metric.name] = metric.help
+    lines: List[str] = []
+    for mname in sorted(by_name):
+        name = f"{prefix}{mname}"
+        samples = by_name[mname]
+        if mname in helps:
+            lines.append(f"# HELP {name} {_escape_help(helps[mname])}")
+        kind = samples[0][1]
+        if isinstance(kind, Counter):
+            lines.append(f"# TYPE {name} counter")
+        elif isinstance(kind, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+        else:  # Gauge and Series both expose as gauges
+            lines.append(f"# TYPE {name} gauge")
+        for key, metric in samples:
+            scoped = dict(labels or {})
+            scoped[label] = key
+            lbl = _label_str(scoped)
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(f"{name}{lbl} {_fmt(metric.value)}")
+            elif isinstance(metric, Histogram):
+                for bound, cum in metric.cumulative_buckets():
+                    bucket_lbl = _label_str(
+                        scoped, extra=f'le="{_fmt(bound)}"'
+                    )
+                    lines.append(f"{name}_bucket{bucket_lbl} {cum}")
+                lines.append(f"{name}_sum{lbl} {_fmt(metric.sum)}")
+                lines.append(f"{name}_count{lbl} {metric.count}")
+            elif isinstance(metric, Series):
+                last = metric.last
+                lines.append(
+                    f"{name}{lbl} {_fmt(last if last is not None else 0.0)}"
+                )
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -350,6 +350,38 @@ def run_report_markdown(report: dict) -> str:
                 f"- empty shards: {dist.get('empty_shards', 0)} "
                 f"(more ranks than vertices)"
             )
+        analysis = dist.get("analysis")
+        if analysis:
+            cp = analysis.get("critical_path", {})
+            total = cp.get("total_s") or 1.0
+            straggler = analysis.get("straggler")
+            lines.append(
+                f"- simulated parallel wall time: "
+                f"{analysis.get('wall_s', 0.0):.4f}s over "
+                f"{analysis.get('rounds', 0)} round(s); load-imbalance "
+                f"factor {analysis.get('imbalance', 1.0):.3f}"
+            )
+            if straggler:
+                lines.append(
+                    f"- straggler: rank {straggler['rank']} set the "
+                    f"barrier in {straggler['rounds_led']} round(s) "
+                    f"(excess {straggler['excess_s']:.4f}s max-minus-median)"
+                )
+            lines.append(
+                f"- critical path: compute {cp.get('compute_s', 0.0):.4f}s "
+                f"({_pct(cp.get('compute_s', 0.0) / total)}), "
+                f"comm {cp.get('comm_s', 0.0):.4f}s "
+                f"({_pct(cp.get('comm_s', 0.0) / total)}), "
+                f"retransmit {cp.get('retransmit_s', 0.0):.4f}s, "
+                f"recovery {cp.get('recovery_s', 0.0):.4f}s"
+            )
+            waits = analysis.get("barrier_wait_s") or {}
+            if waits:
+                worst = max(waits, key=lambda r: waits[r])
+                lines.append(
+                    f"- barrier wait: worst rank {worst} idled "
+                    f"{waits[worst]:.4f}s at round barriers"
+                )
 
     env = report.get("environment")
     if env:

@@ -290,12 +290,16 @@ class Tracer:
         *,
         start_abs_s: Optional[float] = None,
         args: Optional[Dict[str, Any]] = None,
+        kind: str = "span",
     ) -> None:
         """Append an already-measured span (e.g. a kernel launch).
 
         ``start_abs_s`` is an absolute reading of this tracer's clock
         (``time.perf_counter()`` by default); when omitted the span is
-        assumed to have just ended.
+        assumed to have just ended.  ``kind`` lets pre-measured timeline
+        builders append flow endpoints (``"flow_s"``/``"flow_f"``, which
+        the Chrome exporter renders as inter-lane arrows) instead of
+        plain spans.
         """
         if not self._enabled:
             return
@@ -315,6 +319,7 @@ class Tracer:
                     depth=len(self._stack),
                     index=index,
                     parent=parent,
+                    kind=kind,
                     args=dict(args or {}),
                 )
             )

@@ -98,6 +98,9 @@ class CompareReport:
     environment_warnings: List[str] = field(default_factory=list)
     missing_workloads: List[str] = field(default_factory=list)
     new_workloads: List[str] = field(default_factory=list)
+    #: advisory drift notes on the scaling curves (single measurements
+    #: per point — no statistical gate, so they never fail the run)
+    scaling_warnings: List[str] = field(default_factory=list)
     options: CompareOptions = field(default_factory=CompareOptions)
 
     @property
@@ -124,6 +127,7 @@ class CompareReport:
             "environment_warnings": list(self.environment_warnings),
             "missing_workloads": list(self.missing_workloads),
             "new_workloads": list(self.new_workloads),
+            "scaling_warnings": list(self.scaling_warnings),
             "verdicts": [v.to_dict() for v in self.verdicts],
         }
 
@@ -137,6 +141,53 @@ def _judge(
     if comparison.ratio <= 1.0 / (1.0 + tolerance) and significant:
         return IMPROVEMENT
     return NEUTRAL
+
+
+def _compare_scaling(
+    baseline: dict, candidate: dict, tolerance: float
+) -> List[str]:
+    """Advisory diff of the optional ``scaling`` curve sections.
+
+    Each point carries one measurement (a strong-scaling sweep runs a
+    rank count once), so there is no distribution to rank-test —
+    drift beyond the tolerance is reported as a warning rather than a
+    gating verdict.
+    """
+    base = baseline.get("scaling")
+    cand = candidate.get("scaling")
+    warnings: List[str] = []
+    if not base or not cand:
+        return warnings
+    if base.get("dimension") != cand.get("dimension"):
+        return [
+            f"scaling dimensions differ "
+            f"({base.get('dimension')!r} vs {cand.get('dimension')!r}); "
+            f"curves not compared"
+        ]
+    base_points = {p["value"]: p for p in base.get("points", [])}
+    cand_points = {p["value"]: p for p in cand.get("points", [])}
+    for value in sorted(set(base_points) & set(cand_points)):
+        bp, cp = base_points[value], cand_points[value]
+        for key in sorted(set(bp) & set(cp) - {"value"}):
+            b, c = bp.get(key), cp.get(key)
+            if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+                continue
+            if b <= 0:
+                continue
+            ratio = c / b
+            # lower is worse for speedup/efficiency; higher is worse
+            # for imbalance and raw times
+            worse = (
+                ratio < 1.0 / (1.0 + tolerance)
+                if key in ("speedup", "efficiency")
+                else ratio > 1.0 + tolerance
+            )
+            if worse:
+                warnings.append(
+                    f"scaling {base['dimension']}={value:g}: {key} "
+                    f"{b:.4g} -> {c:.4g} ({ratio:.2f}x)"
+                )
+    return warnings
 
 
 def _sample_pairs(
@@ -167,6 +218,9 @@ def compare_records(
     cand_idx = workload_index(candidate)
     report.missing_workloads = sorted(set(base_idx) - set(cand_idx))
     report.new_workloads = sorted(set(cand_idx) - set(base_idx))
+    report.scaling_warnings = _compare_scaling(
+        baseline, candidate, opts.tolerance
+    )
 
     for key in (k for k in base_idx if k in cand_idx):
         base_wl, cand_wl = base_idx[key], cand_idx[key]
@@ -236,6 +290,11 @@ def compare_markdown(report: CompareReport) -> str:
             f"{', '.join(report.new_workloads)}"
         )
     if report.missing_workloads or report.new_workloads:
+        lines.append("")
+    if report.scaling_warnings:
+        lines.append("Scaling-curve drift (advisory — single measurements):")
+        for warning in report.scaling_warnings:
+            lines.append(f"- {warning}")
         lines.append("")
 
     workload_rows = [v for v in report.verdicts if v.scope == "workload"]

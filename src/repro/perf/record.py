@@ -35,7 +35,14 @@ Schema sketch (version ``gsap-bench-record/1``)::
                       "num_blocks": [...]},
           "tracer":  {"spans": 123, "phase_s": {...}} | null
         }
-      ]
+      ],
+      "scaling": {                        # optional strong/weak-scaling curve
+        "dimension": "ranks",
+        "points": [
+          {"value": 4, "speedup": 3.1, "efficiency": 0.77,
+           "imbalance": 1.12, ...}
+        ]
+      }
     }
 
 Every list under ``samples``/``phases``/``quality`` has one entry per
@@ -231,7 +238,51 @@ def validate_record(record) -> List[str]:
         tracer = wl.get("tracer")
         if tracer is not None and not isinstance(tracer, dict):
             problems.append(f"{where}.tracer: must be null or an object")
+    _check_scaling(record.get("scaling"), problems)
     return problems
+
+
+def _check_scaling(scaling, problems: List[str]) -> None:
+    """Validate the optional per-rank/scaling section.
+
+    ``scaling.dimension`` names the swept axis (``"ranks"``);
+    ``scaling.points`` is a list of objects each carrying a numeric
+    ``value`` (the axis position) plus free-form numeric curve fields
+    (``speedup``, ``efficiency``, ``imbalance``, ...).  Point values
+    must be unique and ascending so curves diff positionally.
+    """
+    if scaling is None:
+        return
+    if not isinstance(scaling, dict):
+        problems.append("scaling: must be an object")
+        return
+    if not isinstance(scaling.get("dimension"), str) or not scaling["dimension"]:
+        problems.append("scaling.dimension: missing or not a string")
+    points = scaling.get("points")
+    if not isinstance(points, list) or not points:
+        problems.append("scaling.points: must be a non-empty list")
+        return
+    last_value = None
+    for i, point in enumerate(points):
+        where = f"scaling.points[{i}]"
+        if not isinstance(point, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        value = point.get("value")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            problems.append(f"{where}.value: missing or non-numeric")
+            continue
+        if last_value is not None and value <= last_value:
+            problems.append(
+                f"{where}.value: {value} not strictly greater than the "
+                f"previous point ({last_value})"
+            )
+        last_value = value
+        for key, v in point.items():
+            if key == "value" or v is None:
+                continue
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                problems.append(f"{where}.{key}: non-numeric value {v!r}")
 
 
 def assert_valid(record, *, source: str = "bench record") -> dict:

@@ -1,0 +1,406 @@
+"""Tests for the distributed rank-lane observatory.
+
+Covers the lane timeline (:mod:`repro.dist.lanes`), the straggler /
+critical-path analysis (:mod:`repro.dist.analysis`), the deterministic
+multi-process trace merge (:mod:`repro.obs.distmerge`), and the
+end-to-end contract on a real EDiSt run: tracing never changes the
+answer, flow events pair 1:1 with Frame sequence numbers, and the
+analysis recovered from the merged trace matches the live one.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.baselines.edist import EDiStPartitioner
+from repro.config import SBPConfig
+from repro.dist import (
+    RankLanes,
+    RoundRecord,
+    analyze_merged_trace,
+    analyze_rounds,
+    flow_event_id,
+)
+from repro.dist.analysis import analysis_markdown
+from repro.graph.datasets import load_dataset
+from repro.obs import (
+    DRIVER_PID,
+    MERGED_TRACE_SCHEMA,
+    Tracer,
+    merge_rank_traces,
+    merged_trace_text,
+    prometheus_text_multi,
+    validate_merged_trace,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.dist
+
+
+@pytest.fixture(scope="module")
+def bench_graph():
+    return load_dataset("low_low", 120, seed=2)
+
+
+@pytest.fixture
+def quick_config():
+    return SBPConfig(
+        max_num_nodal_itr=10,
+        delta_entropy_threshold1=5e-3,
+        delta_entropy_threshold2=1e-3,
+        seed=3,
+    )
+
+
+def _obs_on(config):
+    return config.replace(
+        observability=config.observability.replace(enabled=True)
+    )
+
+
+class TestFlowEventId:
+    def test_unique_per_channel_and_seq(self):
+        seen = set()
+        for src in range(4):
+            for dst in range(4):
+                for seq in range(1, 50):
+                    seen.add(flow_event_id(src, dst, seq, 4))
+        assert len(seen) == 4 * 4 * 49
+
+    def test_endpoints_share_one_id(self):
+        assert flow_event_id(1, 3, 7, 4) == flow_event_id(1, 3, 7, 4)
+        assert flow_event_id(1, 3, 7, 4) != flow_event_id(3, 1, 7, 4)
+
+
+class TestRankLanes:
+    def test_round_advances_simulated_clock(self):
+        lanes = RankLanes(2)
+        lanes.record_round(
+            round_index=0, compute_s={0: 0.2, 1: 0.5},
+            comm_s=0.1, apply_s=0.05,
+        )
+        assert lanes.clock_s == pytest.approx(0.5 + 0.1 + 0.05)
+        lanes.record_round(round_index=1, compute_s={0: 0.3, 1: 0.1})
+        assert lanes.clock_s == pytest.approx(0.65 + 0.3)
+
+    def test_lane_spans_cover_the_round(self):
+        lanes = RankLanes(2)
+        lanes.record_round(
+            round_index=0, compute_s={0: 0.2, 1: 0.5},
+            comm_s=0.1, apply_s=0.05,
+        )
+        fast = {s.name: s for s in lanes.tracers[0].spans()}
+        # the fast rank idles at the barrier for the difference
+        assert fast["barrier_wait"].duration_s == pytest.approx(0.3)
+        assert fast["barrier_wait"].start_s == pytest.approx(0.2)
+        assert fast["exchange"].start_s == pytest.approx(0.5)
+        slow = {s.name: s for s in lanes.tracers[1].spans()}
+        assert slow["barrier_wait"].duration_s == pytest.approx(0.0)
+
+    def test_flow_pair_lands_on_both_lanes(self):
+        lanes = RankLanes(2)
+        lanes.record_round(
+            round_index=0, compute_s={0: 0.2, 1: 0.5}, comm_s=0.1,
+            flows=[(0, 1, "moves", 3)],
+        )
+        sends = [s for s in lanes.tracers[0].spans() if s.kind == "flow_s"]
+        finishes = [s for s in lanes.tracers[1].spans()
+                    if s.kind == "flow_f"]
+        assert len(sends) == len(finishes) == 1
+        assert sends[0].args["flow_id"] == finishes[0].args["flow_id"]
+        assert sends[0].args["flow_id"] == flow_event_id(0, 1, 3, 2)
+        assert sends[0].args["seq"] == 3
+
+    def test_critical_path_sums_exactly_to_lane_wall(self):
+        lanes = RankLanes(3)
+        lanes.record_round(
+            round_index=0, compute_s={0: 0.1, 1: 0.2, 2: 0.15},
+            comm_s=0.02, retransmit_s=0.01, apply_s=0.03,
+        )
+        lanes.record_round(
+            round_index=1, compute_s={0: 0.3, 1: 0.1, 2: 0.1},
+            comm_s=0.02, recovery_s=0.05, aborted=True, failed_ranks=(2,),
+        )
+        summary = lanes.summary()
+        assert summary["critical_path"]["total_s"] == pytest.approx(
+            lanes.clock_s
+        )
+        assert summary["critical_path"]["wall_coverage"] == pytest.approx(1.0)
+
+    def test_disabled_lanes_keep_records_but_no_spans(self):
+        lanes = RankLanes(2, enabled=False)
+        lanes.record_round(round_index=0, compute_s={0: 0.1, 1: 0.2})
+        assert len(lanes.rounds) == 1
+        assert not lanes.tracers[0].spans()
+
+    def test_per_rank_metric_scopes(self):
+        lanes = RankLanes(2)
+        lanes.record_round(
+            round_index=0, compute_s={0: 0.2, 1: 0.5},
+            moves={0: 7, 1: 3}, payload_bytes={0: 224, 1: 96},
+        )
+        page = prometheus_text_multi(lanes.metrics, label="rank")
+        assert page.count("# TYPE gsap_dist_rank_compute_seconds_total") == 1
+        assert 'gsap_dist_rank_moves_accepted_total{rank="0"} 7' in page
+        assert 'gsap_dist_rank_payload_bytes_total{rank="1"} 96' in page
+
+
+class TestAnalyzeRounds:
+    def _rounds(self):
+        return [
+            RoundRecord(round_index=0, compute_s={0: 0.1, 1: 0.4, 2: 0.2},
+                        comm_s=0.05, apply_s=0.02),
+            RoundRecord(round_index=1, compute_s={0: 0.1, 1: 0.3, 2: 0.2},
+                        comm_s=0.05),
+            RoundRecord(round_index=2, compute_s={0: 0.5, 1: 0.1, 2: 0.2},
+                        comm_s=0.05, retransmit_s=0.1),
+        ]
+
+    def test_straggler_is_most_frequent_barrier_setter(self):
+        summary = analyze_rounds(self._rounds())
+        assert summary["straggler"]["rank"] == 1
+        assert summary["straggler"]["rounds_led"] == 2
+
+    def test_barrier_wait_per_rank(self):
+        summary = analyze_rounds(self._rounds())
+        waits = summary["barrier_wait_s"]
+        assert waits["0"] == pytest.approx(0.3 + 0.2 + 0.0)
+        assert waits["1"] == pytest.approx(0.0 + 0.0 + 0.4)
+        assert waits["2"] == pytest.approx(0.2 + 0.1 + 0.3)
+
+    def test_imbalance_factor(self):
+        flat = [RoundRecord(round_index=0,
+                            compute_s={0: 0.2, 1: 0.2, 2: 0.2})]
+        assert analyze_rounds(flat)["imbalance"] == pytest.approx(1.0)
+        summary = analyze_rounds(self._rounds())
+        assert summary["imbalance"] > 1.0
+
+    def test_critical_path_decomposition(self):
+        summary = analyze_rounds(self._rounds())
+        cp = summary["critical_path"]
+        assert cp["compute_s"] == pytest.approx(0.4 + 0.02 + 0.3 + 0.5)
+        assert cp["comm_s"] == pytest.approx(0.15)
+        assert cp["retransmit_s"] == pytest.approx(0.1)
+        assert cp["total_s"] == pytest.approx(summary["wall_s"])
+
+    def test_markdown_renders(self):
+        text = analysis_markdown(analyze_rounds(self._rounds()))
+        assert "# Distributed rank-lane analysis" in text
+        assert "straggler: rank 1" in text
+        assert "| **total** |" in text
+
+
+def _synthetic_lanes():
+    lanes = RankLanes(2)
+    lanes.record_round(
+        round_index=0, compute_s={0: 0.2, 1: 0.5}, comm_s=0.1,
+        apply_s=0.05, flows=[(0, 1, "moves", 1), (1, 0, "moves", 1)],
+        moves={0: 4, 1: 6},
+    )
+    lanes.record_round(
+        round_index=1, compute_s={0: 0.4, 1: 0.1}, comm_s=0.1,
+        recovery_s=0.2, aborted=True, failed_ranks=(1,),
+    )
+    return lanes
+
+
+class TestMergeDeterminism:
+    def test_remerge_is_byte_identical(self):
+        lanes = _synthetic_lanes()
+        driver = Tracer(enabled=True, clock=lambda: 0.0)
+        driver.add_complete("run", "run", 1.0)
+        first = merged_trace_text(
+            merge_rank_traces(lanes.tracers, driver=driver,
+                              metadata={"seed": 3})
+        )
+        second = merged_trace_text(
+            merge_rank_traces(lanes.tracers, driver=driver,
+                              metadata={"seed": 3})
+        )
+        assert first == second
+
+    def test_lanes_carry_pid_and_metadata(self):
+        payload = merge_rank_traces(_synthetic_lanes().tracers)
+        events = payload["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {(e["pid"], e["name"], e["args"]["name"]) for e in meta}
+        assert (0, "process_name", "rank 0") in names
+        assert (1, "process_name", "rank 1") in names
+        assert payload["otherData"]["schema"] == MERGED_TRACE_SCHEMA
+        assert payload["otherData"]["num_ranks"] == 2
+
+    def test_driver_rides_on_reserved_pid(self):
+        driver = Tracer(enabled=True, clock=lambda: 0.0)
+        driver.add_complete("run", "run", 1.0)
+        payload = merge_rank_traces(_synthetic_lanes().tracers,
+                                    driver=driver)
+        pids = {e["pid"] for e in payload["traceEvents"]}
+        assert pids == {0, 1, DRIVER_PID}
+
+    def test_validator_accepts_good_trace(self):
+        payload = merge_rank_traces(_synthetic_lanes().tracers)
+        assert validate_merged_trace(payload) == []
+
+    def test_validator_flags_unpaired_flow(self):
+        payload = merge_rank_traces(_synthetic_lanes().tracers)
+        events = [e for e in payload["traceEvents"] if e["ph"] != "f"]
+        broken = dict(payload, traceEvents=events)
+        problems = validate_merged_trace(broken)
+        assert any("send(s)" in p for p in problems)
+
+    def test_validator_flags_missing_schema(self):
+        payload = merge_rank_traces(_synthetic_lanes().tracers)
+        broken = dict(payload, otherData={})
+        assert any("schema" in p for p in validate_merged_trace(broken))
+
+    def test_trace_analysis_matches_live_summary(self):
+        lanes = _synthetic_lanes()
+        live = lanes.summary()
+        recovered = analyze_merged_trace(merge_rank_traces(lanes.tracers))
+        assert recovered["rounds"] == live["rounds"]
+        assert recovered["aborted_rounds"] == live["aborted_rounds"] == 1
+        assert recovered["straggler"]["rank"] == live["straggler"]["rank"]
+        assert recovered["imbalance"] == pytest.approx(
+            live["imbalance"], rel=1e-6
+        )
+        cp_live = live["critical_path"]
+        cp_rec = recovered["critical_path"]
+        for key in ("compute_s", "comm_s", "retransmit_s", "recovery_s"):
+            assert cp_rec[key] == pytest.approx(cp_live[key], rel=1e-5)
+
+    def test_analysis_rejects_non_distributed_trace(self):
+        with pytest.raises(ValueError):
+            analyze_merged_trace({"traceEvents": [
+                {"ph": "X", "name": "run", "cat": "run", "ts": 0.0,
+                 "dur": 1.0, "pid": 1, "tid": 0, "args": {}},
+            ]})
+
+
+class TestEDiStEndToEnd:
+    @pytest.fixture(scope="class")
+    def traced_run(self, bench_graph):
+        graph, _truth = bench_graph
+        config = _obs_on(SBPConfig(
+            max_num_nodal_itr=10,
+            delta_entropy_threshold1=5e-3,
+            delta_entropy_threshold2=1e-3,
+            seed=3,
+        ))
+        partitioner = EDiStPartitioner(config, num_ranks=4)
+        result = partitioner.partition(graph)
+        return partitioner, result
+
+    def test_tracing_never_changes_the_answer(self, bench_graph,
+                                              quick_config, traced_run):
+        """The golden oracle with tracing enabled: byte-identical."""
+        graph, _truth = bench_graph
+        _partitioner, traced = traced_run
+        plain = EDiStPartitioner(quick_config, num_ranks=4).partition(graph)
+        np.testing.assert_array_equal(traced.partition, plain.partition)
+        assert traced.mdl == plain.mdl
+
+    def test_every_round_has_flow_pairs(self, traced_run):
+        partitioner, _result = traced_run
+        lanes = partitioner.lanes
+        payload = merge_rank_traces(lanes.tracers,
+                                    driver=partitioner.obs.tracer)
+        assert validate_merged_trace(payload) == []
+        sends_per_round = {}
+        for event in payload["traceEvents"]:
+            if event.get("ph") == "s":
+                args = event["args"]
+                sends_per_round.setdefault(args["round"], []).append(args)
+                # the id is a pure function of (src, dst, seq)
+                assert event["id"] == flow_event_id(
+                    args["src"], args["dst"], args["seq"], lanes.num_ranks
+                )
+        # one entry per recorded round, each with at least one flow pair
+        assert set(sends_per_round) == {
+            r.round_index for r in lanes.rounds
+        }
+        assert all(sends_per_round.values())
+        # ... and the lane records agree with the trace event counts
+        for rec in lanes.rounds:
+            assert rec.flows == len(sends_per_round[rec.round_index])
+
+    def test_seq_numbers_are_channel_monotone(self, traced_run):
+        partitioner, _result = traced_run
+        payload = merge_rank_traces(partitioner.lanes.tracers)
+        per_channel = {}
+        for event in payload["traceEvents"]:
+            if event.get("ph") == "s":
+                args = event["args"]
+                per_channel.setdefault(
+                    (args["src"], args["dst"]), []
+                ).append(args["seq"])
+        for seqs in per_channel.values():
+            assert seqs == sorted(seqs)
+            assert len(set(seqs)) == len(seqs)
+
+    def test_result_carries_dist_analysis(self, traced_run):
+        partitioner, result = traced_run
+        analysis = result.dist["analysis"]
+        assert analysis["rounds"] == len(partitioner.lanes.rounds)
+        cp = analysis["critical_path"]
+        # the acceptance bound: split sums within 5% of lane wall time
+        assert abs(cp["total_s"] - analysis["wall_s"]) <= (
+            0.05 * analysis["wall_s"]
+        )
+        assert result.dist["lane_wall_s"] == pytest.approx(
+            partitioner.lanes.clock_s
+        )
+        assert analysis["imbalance"] >= 1.0
+        assert analysis["straggler"]["rank"] in range(4)
+
+    def test_dist_round_series_recorded(self, traced_run):
+        partitioner, _result = traced_run
+        metrics = partitioner.obs.metrics
+        n = len(partitioner.lanes.rounds)
+        for name in ("dist_round_compute_seconds",
+                     "dist_round_comm_seconds",
+                     "dist_round_barrier_wait_seconds"):
+            assert len(metrics.series(name).points) == n
+        assert metrics.gauge("dist_imbalance").value >= 1.0
+
+    def test_crash_run_trace_round_trips(self, bench_graph, quick_config):
+        graph, _truth = bench_graph
+        plan = FaultPlan([FaultSpec(kind="rank_crash", at=5, rank=2)])
+        partitioner = EDiStPartitioner(
+            _obs_on(quick_config), num_ranks=4, fault_plan=plan,
+        )
+        partitioner.partition(graph)
+        payload = merge_rank_traces(partitioner.lanes.tracers)
+        assert validate_merged_trace(payload) == []
+        recovered = analyze_merged_trace(payload)
+        assert recovered["aborted_rounds"] == 1
+        crashed = [r for r in recovered["per_round"] if r["aborted"]]
+        assert crashed[0]["failed_ranks"] == [2]
+        assert recovered["critical_path"]["recovery_s"] > 0
+
+
+class TestCLIDistAnalyze:
+    def test_analyze_merged_trace_file(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.obs import write_merged_trace
+
+        lanes = _synthetic_lanes()
+        path = tmp_path / "merged.json"
+        write_merged_trace(merge_rank_traces(lanes.tracers), path)
+        out_json = tmp_path / "analysis.json"
+        assert main(["dist", "analyze", str(path),
+                     "--json-out", str(out_json)]) == 0
+        captured = capsys.readouterr().out
+        assert "# Distributed rank-lane analysis" in captured
+        summary = json.loads(out_json.read_text())
+        assert summary["rounds"] == 2
+
+    def test_analyze_rejects_plain_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "plain.json"
+        path.write_text(json.dumps({"traceEvents": [], "otherData": {}}))
+        assert main(["dist", "analyze", str(path)]) == 1
+        assert "not a valid merged rank-lane trace" in (
+            capsys.readouterr().err
+        )

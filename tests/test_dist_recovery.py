@@ -198,3 +198,66 @@ class TestMessageFaultOracle:
         assert p.comm.retransmits >= 4
         np.testing.assert_array_equal(result.partition, ref.partition)
         assert result.mdl == ref.mdl
+
+
+class TestCrashFlightRecorder:
+    """On a rank crash the distributed flight recorder must hold the
+    black-box story: the per-round history up to and including the
+    victim's last round, plus the failure detector's verdict gossip —
+    and dump it automatically when a flight directory is configured."""
+
+    def test_ring_holds_last_round_and_verdict(self, bench_graph,
+                                               quick_config):
+        graph, _ = bench_graph
+        plan = FaultPlan([FaultSpec(kind="rank_crash", at=5, rank=2)])
+        p = EDiStPartitioner(quick_config, num_ranks=4, fault_plan=plan)
+        p.partition(graph)
+
+        rounds = p.flight.recent(n=1000, kind="dist_round")
+        crashed = [e for e in rounds if e["aborted"]]
+        assert len(crashed) == 1
+        assert crashed[0]["round"] == 5
+        assert crashed[0]["failed_ranks"] == [2]
+        # the victim's accepted moves of its final round are on record
+        assert "2" in crashed[0]["moves"]
+
+        verdicts = p.flight.recent(n=10, kind="verdict_gossip")
+        assert verdicts, "failure detector gossiped no verdict"
+        assert all(v["verdict"] == "dead" for v in verdicts)
+        assert {v["suspect"] for v in verdicts} == {2}
+        assert all(v["round"] == 5 for v in verdicts)
+        # accusers are survivors, never the dead rank itself
+        assert 2 not in {v["accuser"] for v in verdicts}
+
+    def test_crash_dumps_ring_when_flight_dir_set(self, bench_graph,
+                                                  quick_config, tmp_path):
+        import json
+
+        graph, _ = bench_graph
+        plan = FaultPlan([FaultSpec(kind="rank_crash", at=5, rank=2)])
+        p = EDiStPartitioner(
+            quick_config, num_ranks=4, fault_plan=plan,
+            flight_dir=tmp_path / "flight",
+        )
+        p.partition(graph)
+
+        dumps = sorted((tmp_path / "flight").glob("rank_crash_*.jsonl"))
+        assert len(dumps) == 1
+        assert dumps[0].name == "rank_crash_round00005.jsonl"
+        lines = [json.loads(l) for l in dumps[0].read_text().splitlines()]
+        header = lines[0]
+        assert header["kind"] == "flight_recorder_dump"
+        assert "rank(s) 2 declared dead in round 5" in header["reason"]
+        kinds = {e["kind"] for e in lines[1:]}
+        assert "dist_round" in kinds and "verdict_gossip" in kinds
+
+    def test_no_dump_without_crash(self, bench_graph, quick_config,
+                                   tmp_path):
+        graph, _ = bench_graph
+        p = EDiStPartitioner(
+            quick_config, num_ranks=4, flight_dir=tmp_path / "flight",
+        )
+        p.partition(graph)
+        assert not list((tmp_path / "flight").glob("*.jsonl"))
+        # ... but the in-memory ring still carries the round history
+        assert p.flight.recent(n=5, kind="dist_round")

@@ -72,6 +72,9 @@ class TestChromeTrace:
         assert payload["displayTimeUnit"] == "ms"
         assert payload["otherData"] == {"seed": 1}
         for event in payload["traceEvents"]:
+            if event["ph"] == "M":
+                assert {"name", "pid", "args"} <= set(event)
+                continue
             assert {"name", "cat", "ph", "ts", "pid", "tid"} <= set(event)
 
     def test_open_span_exported_with_running_duration(self):

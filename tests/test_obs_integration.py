@@ -67,7 +67,10 @@ class TestRunSpans:
         path = write_chrome_trace(partitioner.obs.tracer,
                                   tmp_path / "run.trace.json")
         payload = json.loads(path.read_text())
-        assert len(payload["traceEvents"]) == len(partitioner.obs.tracer.spans())
+        spans = [e for e in payload["traceEvents"] if e["ph"] != "M"]
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert len(spans) == len(partitioner.obs.tracer.spans())
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
 
     def test_mdl_series_matches_history(self, small_graph, obs_config):
         partitioner = GSAPPartitioner(obs_config, device=Device(A4000))
@@ -284,7 +287,7 @@ class TestCli:
         assert code == 0
         payload = json.loads(trace.read_text())
         assert payload["traceEvents"]
-        assert any(e["cat"] == "run" for e in payload["traceEvents"])
+        assert any(e.get("cat") == "run" for e in payload["traceEvents"])
         assert "gsap_final_mdl" in prom.read_text()
         rep = json.loads(report.read_text())
         assert rep["schema"] == "gsap-run-report/1"

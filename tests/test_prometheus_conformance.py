@@ -13,6 +13,7 @@ import pytest
 
 from repro.obs.export import (
     prometheus_text,
+    prometheus_text_multi,
     validate_prometheus_text,
     write_prometheus,
 )
@@ -169,6 +170,90 @@ class TestServeCounters:
         # the scrape page also documents the serve family
         assert "# TYPE gsap_serve_cache_hits_total counter" in text
         assert "# TYPE gsap_serve_singleflight_coalesced_total counter" in text
+
+
+class TestDistMetricFamilies:
+    """Per-rank ``dist_*`` pages render as one TYPE group per family.
+
+    A distributed run scrapes per-rank registries through
+    :func:`prometheus_text_multi`: the family is declared once and every
+    registry contributes one ``rank``-labelled sample, because repeated
+    ``# TYPE`` lines for one metric name void the whole page.
+    """
+
+    def _lanes(self):
+        from repro.dist import RankLanes
+
+        lanes = RankLanes(3)
+        lanes.record_round(
+            round_index=0, compute_s={0: 0.2, 1: 0.3, 2: 0.25},
+            moves={0: 5, 1: 7, 2: 6},
+            payload_bytes={0: 160, 1: 224, 2: 192},
+        )
+        return lanes
+
+    def test_one_type_group_per_dist_family(self):
+        page = prometheus_text_multi(self._lanes().metrics, label="rank")
+        for family in ("dist_rank_compute_seconds_total",
+                       "dist_rank_barrier_wait_seconds_total",
+                       "dist_rank_moves_accepted_total",
+                       "dist_rank_payload_bytes_total"):
+            assert page.count(f"# TYPE gsap_{family} counter") == 1
+            assert page.count(f"gsap_{family}{{rank=") == 3
+        assert validate_prometheus_text(page) == []
+
+    def test_rank_label_value_escaping(self):
+        reg_a, reg_b = MetricsRegistry(), MetricsRegistry()
+        reg_a.counter("dist_rank_compute_seconds_total").inc(1)
+        reg_b.counter("dist_rank_compute_seconds_total").inc(2)
+        page = prometheus_text_multi(
+            {'r"0"\n': reg_a, "r\\1": reg_b}, label="rank",
+        )
+        assert 'rank="r\\"0\\"\\n"' in page
+        assert 'rank="r\\\\1"' in page
+        assert validate_prometheus_text(page) == []
+
+    def test_shared_labels_merge_with_rank(self):
+        page = prometheus_text_multi(
+            self._lanes().metrics, label="rank",
+            labels={"algorithm": "EDiSt"},
+        )
+        sample_lines = _lines(page)
+        assert sample_lines
+        for line in sample_lines:
+            assert 'algorithm="EDiSt"' in line
+            assert 'rank="' in line
+
+    def test_invalid_scope_label_rejected(self):
+        with pytest.raises(ValueError, match="not Prometheus-compatible"):
+            prometheus_text_multi({0: MetricsRegistry()}, label="bad-name")
+
+    def test_dist_round_series_families_on_run_page(self):
+        """An EDiSt run's own registry carries the ``dist_round_*``
+        series and the ``dist_imbalance``/``dist_straggler_rank``
+        gauges, all conformant on one page."""
+        from repro.baselines.edist import EDiStPartitioner
+        from repro.config import SBPConfig
+        from repro.graph.datasets import load_dataset
+
+        graph = load_dataset("low_low", 120, seed=2)[0]
+        config = SBPConfig(
+            max_num_nodal_itr=10, delta_entropy_threshold1=5e-3,
+            delta_entropy_threshold2=1e-3, seed=3,
+        )
+        config = config.replace(
+            observability=config.observability.replace(enabled=True)
+        )
+        partitioner = EDiStPartitioner(config, num_ranks=4)
+        partitioner.partition(graph)
+        text = prometheus_text(partitioner.obs.metrics)
+        assert validate_prometheus_text(text) == []
+        assert "# TYPE gsap_dist_imbalance gauge" in text
+        assert "# TYPE gsap_dist_straggler_rank gauge" in text
+        for family in ("dist_round_compute_seconds",
+                       "dist_round_comm_seconds",
+                       "dist_round_barrier_wait_seconds"):
+            assert f"# TYPE gsap_{family}" in text
 
 
 class TestValidator:
